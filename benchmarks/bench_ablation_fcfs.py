@@ -1,0 +1,44 @@
+"""Ablation: FCFS throughput — analytic Markov chain vs discrete-event.
+
+The TPCalc-style chain is the default because it is exact under
+exponential sizes and orders of magnitude faster; this bench pins that
+trade-off down and checks the two stay in agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fcfs import fcfs_throughput, simulate_fcfs_throughput
+
+
+def analytic(context):
+    return [
+        fcfs_throughput(context.smt_rates, w).throughput
+        for w in context.workloads[:8]
+    ]
+
+
+def simulated(context):
+    return [
+        simulate_fcfs_throughput(
+            context.smt_rates, w, n_jobs=4_000, seed=1
+        ).throughput
+        for w in context.workloads[:8]
+    ]
+
+
+def test_fcfs_markov_chain(benchmark, context):
+    values = benchmark.pedantic(
+        analytic, args=(context,), rounds=3, iterations=1
+    )
+    assert all(v > 0 for v in values)
+
+
+def test_fcfs_discrete_event(benchmark, context):
+    des = benchmark.pedantic(
+        simulated, args=(context,), rounds=1, iterations=1
+    )
+    chain = analytic(context)
+    for a, b in zip(des, chain):
+        assert a == pytest.approx(b, rel=0.05)

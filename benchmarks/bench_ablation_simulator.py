@@ -1,0 +1,45 @@
+"""Ablation: coschedule-simulation cost (the Sniper-sweep stand-in).
+
+Times the contention fixed point for fresh (uncached) rate tables —
+the full 1,365-combination sweep cost is this number scaled up — and
+the incremental cost of the cached path the analyses actually hit.
+"""
+
+from __future__ import annotations
+
+from repro.microarch.benchmarks import default_roster
+from repro.microarch.config import smt_machine
+from repro.microarch.rates import RateTable
+from repro.microarch.simulator import simulate_coschedule
+from repro.util.multiset import multisets
+
+ROSTER = default_roster()
+TYPES = ("bzip2", "hmmer", "libquantum", "mcf")
+
+
+def fresh_sweep():
+    machine = smt_machine()
+    results = [
+        simulate_coschedule(machine, ROSTER, combo)
+        for combo in multisets(TYPES, 4)
+    ]
+    return results
+
+
+def cached_lookups(rates: RateTable):
+    total = 0.0
+    for combo in multisets(TYPES, 4):
+        total += rates.instantaneous_throughput(combo)
+    return total
+
+
+def test_fixed_point_sweep(benchmark):
+    results = benchmark.pedantic(fresh_sweep, rounds=2, iterations=1)
+    assert len(results) == 35
+
+
+def test_cached_rate_lookups(benchmark):
+    rates = RateTable(smt_machine())
+    cached_lookups(rates)  # warm
+    total = benchmark(cached_lookups, rates)
+    assert total > 0.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the Section-V.D fairness counterfactual."""
+
+from __future__ import annotations
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.fairness_cf import compute_fairness_cf
+
+
+def bench(context):
+    workloads = sample_workloads(context.workloads, 10, seed=3)
+    return compute_fairness_cf(context.smt_rates, workloads)
+
+
+def test_fairness(benchmark, context):
+    outcomes = benchmark.pedantic(bench, args=(context,), rounds=2, iterations=1)
+    mean_gain = sum(o.optimal_change for o in outcomes) / len(outcomes)
+    assert mean_gain >= 0.0
+    mean_after = sum(o.hetero_fraction_after for o in outcomes) / len(outcomes)
+    assert mean_after > 0.5

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 1 (three-level variability bars)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import compute_figure1
+
+
+def bench(context):
+    smt, _ = compute_figure1(
+        context.smt_rates, context.workloads, config="smt"
+    )
+    quad, _ = compute_figure1(
+        context.quad_rates, context.workloads, config="quad"
+    )
+    return smt, quad
+
+
+def test_figure1(benchmark, context):
+    smt, quad = benchmark.pedantic(
+        bench, args=(context,), rounds=2, iterations=1
+    )
+    # Headline shape: average-TP variability is the smallest bar.
+    for bars in (smt, quad):
+        assert bars.tp_spread < bars.it_spread
+        assert bars.tp_spread < bars.job_spread

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 2 (FCFS-vs-optimal scatter + slope)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import compute_figure2
+
+
+def bench(context):
+    return (
+        compute_figure2(context.smt_rates, context.workloads, config="smt"),
+        compute_figure2(context.quad_rates, context.workloads, config="quad"),
+    )
+
+
+def test_figure2(benchmark, context):
+    smt, quad = benchmark.pedantic(
+        bench, args=(context,), rounds=2, iterations=1
+    )
+    assert 0.0 < smt.slope < 1.0
+    assert 0.0 < quad.slope < 1.0
+    assert smt.mean_bridged_fraction > 0.5

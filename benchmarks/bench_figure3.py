@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 3 (linear-bottleneck scatter)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import compute_figure3
+
+
+def bench(context):
+    return (
+        compute_figure3(context.smt_rates, context.workloads, config="smt"),
+        compute_figure3(context.quad_rates, context.workloads, config="quad"),
+    )
+
+
+def test_figure3(benchmark, context):
+    smt, quad = benchmark.pedantic(
+        bench, args=(context,), rounds=2, iterations=1
+    )
+    assert smt.correlation > 0.0
+    assert quad.correlation > 0.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (M/M/4 turnaround curves + example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import compute_curves, compute_example
+
+
+def bench():
+    example = compute_example()
+    curves = compute_curves(n_points=50)
+    return example, curves
+
+
+def test_figure4(benchmark):
+    example, curves = benchmark.pedantic(bench, rounds=5, iterations=1)
+    assert example.base_jobs_in_system == pytest.approx(8.7, abs=0.05)
+    assert example.turnaround_reduction == pytest.approx(0.16, abs=0.01)
+    assert len(curves) == 50

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 5 (latency experiment grid).
+
+The discrete-event grid is the most expensive artifact, so the bench
+runs a reduced but structurally complete version: all four schedulers
+at two loads over a handful of workloads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.figure5 import compute_figure5
+
+
+def bench(context):
+    workloads = sample_workloads(context.workloads, 3, seed=1)
+    return compute_figure5(
+        context.smt_rates,
+        workloads,
+        loads=(0.8, 0.95),
+        n_jobs=2_500,
+        seed=0,
+    )
+
+
+def test_figure5(benchmark, context):
+    cells = benchmark.pedantic(bench, args=(context,), rounds=1, iterations=1)
+    by_key = {(c.scheduler, c.load): c for c in cells}
+    assert by_key[("srpt", 0.8)].mean_turnaround <= by_key[
+        ("fcfs", 0.8)
+    ].mean_turnaround
+    assert by_key[("maxtp", 0.95)].turnaround_vs_fcfs < 1.0

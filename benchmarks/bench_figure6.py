@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 6 (saturation throughput series)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.figure6 import compute_figure6
+
+
+def bench(context):
+    workloads = sample_workloads(context.workloads, 4, seed=2)
+    return compute_figure6(
+        context.smt_rates, workloads, n_jobs=2_000, seed=0
+    )
+
+
+def test_figure6(benchmark, context):
+    points = benchmark.pedantic(bench, args=(context,), rounds=1, iterations=1)
+    for p in points:
+        assert p.maxtp_relative == pytest.approx(
+            p.lp_maximum_relative, abs=0.07
+        )
+        assert p.srpt_relative == pytest.approx(1.0, abs=0.06)

@@ -1,0 +1,22 @@
+"""Benchmark: the small-set makespan comparison (Section II)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.makespan_exp import compute_makespan
+
+
+def bench(context):
+    workloads = sample_workloads(context.workloads, 4, seed=6)
+    return compute_makespan(
+        context.smt_rates, workloads, set_sizes=(8, 16), seeds=(0, 1)
+    )
+
+
+def test_makespan(benchmark, context):
+    cells = benchmark.pedantic(bench, args=(context,), rounds=2, iterations=1)
+    by_key = {(c.scheduler, c.n_jobs): c for c in cells}
+    # LJF is competitive with the symbiosis-aware MAXIT on small sets.
+    assert by_key[("ljf", 16)].makespan_vs_fcfs < 1.05
+    # Drain time is a visible share of the makespan.
+    assert by_key[("fcfs", 8)].mean_drain_fraction > 0.05

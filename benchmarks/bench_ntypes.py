@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the Section-V.B N-sweep."""
+
+from __future__ import annotations
+
+from repro.experiments.ntypes import compute_ntypes
+
+
+def bench(context):
+    return compute_ntypes(
+        context.smt_rates,
+        n_values=(2, 4, 8),
+        max_workloads_per_n=12,
+        seed=0,
+    )
+
+
+def test_ntypes(benchmark, context):
+    points = benchmark.pedantic(bench, args=(context,), rounds=1, iterations=1)
+    assert [p.n_types for p in points] == [2, 4, 8]
+    for p in points:
+        assert 0.0 <= p.mean_gain < 0.15

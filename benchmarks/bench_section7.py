@@ -1,0 +1,27 @@
+"""Benchmark: regenerate the Section-VII policy study.
+
+This is the only artifact that needs fresh rate tables (one per policy
+pair), so the bench includes the simulation sweep, exactly like the
+paper's four-configuration experiment.
+"""
+
+from __future__ import annotations
+
+from repro.core.workload import Workload
+from repro.experiments.section7 import compute_section7
+
+WORKLOADS = [
+    Workload.of("bzip2", "hmmer", "libquantum", "mcf"),
+    Workload.of("calculix", "mcf", "sjeng", "xalancbmk"),
+    Workload.of("gcc.g23", "h264ref", "perlbench", "tonto"),
+]
+
+
+def bench():
+    return compute_section7(WORKLOADS)
+
+
+def test_section7(benchmark):
+    summary = benchmark.pedantic(bench, rounds=1, iterations=1)
+    assert summary.best_over_baseline_fcfs > 0.0
+    assert summary.best_over_baseline_optimal > 0.0

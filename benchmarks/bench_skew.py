@@ -1,0 +1,21 @@
+"""Benchmark: the workload-skew sweep (Section III-D remark)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.skew_exp import compute_skew
+
+
+def bench(context):
+    workloads = sample_workloads(context.workloads, 8, seed=21)
+    return compute_skew(
+        context.smt_rates, workloads, skews=(1.0, 4.0, 16.0)
+    )
+
+
+def test_skew(benchmark, context):
+    points = benchmark.pedantic(bench, args=(context,), rounds=2, iterations=1)
+    by_skew = {p.skew: p for p in points}
+    # Heavy skew strangles the symbiotic headroom.
+    assert by_skew[16.0].mean_gain < by_skew[1.0].mean_gain + 0.005
+    assert by_skew[16.0].mean_gain < 0.02

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table I (benchmark roster + alone IPCs)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import compute_table1
+
+
+def bench(context):
+    rows = compute_table1(context)
+    assert len(rows) == 12
+    return rows
+
+
+def test_table1(benchmark, context):
+    rows = benchmark.pedantic(
+        bench, args=(context,), rounds=3, iterations=1
+    )
+    names = {r.name for r in rows}
+    assert "mcf" in names and "hmmer" in names

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table II (fractions by heterogeneity)."""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import compute_table2
+
+
+def bench(context):
+    return (
+        compute_table2(context.smt_rates, context.workloads, config="smt"),
+        compute_table2(context.quad_rates, context.workloads, config="quad"),
+    )
+
+
+def test_table2(benchmark, context):
+    smt, quad = benchmark.pedantic(
+        bench, args=(context,), rounds=2, iterations=1
+    )
+    smt_rows = {r.heterogeneity: r for r in smt}
+    assert smt_rows[1].worst_fraction > 0.5
+    assert sum(r.optimal_fraction for r in smt) > 0.99
+    assert len(quad) == 4

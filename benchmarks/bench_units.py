@@ -1,0 +1,20 @@
+"""Benchmark: the unit-of-work comparison (Section III-B)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.units_exp import compute_units
+
+
+def bench(context):
+    workloads = sample_workloads(context.workloads, 8, seed=4)
+    return compute_units(context.smt_rates, workloads)
+
+
+def test_units(benchmark, context):
+    comparisons = benchmark.pedantic(
+        bench, args=(context,), rounds=2, iterations=1
+    )
+    for c in comparisons:
+        assert 0.0 <= c.weighted_gain < 0.25
+        assert 0.0 <= c.instruction_gain < 0.25

@@ -1,0 +1,30 @@
+"""Benchmark fixtures.
+
+Each ``bench_*`` module regenerates one paper artifact.  The rate
+tables are shared and pre-warmed at session scope so the benchmarks
+time the *analysis* (LP solves, Markov chains, discrete-event runs) on
+top of a fixed simulated dataset — the same separation the paper has
+between its one-off Sniper sweep and its scheduling analyses.
+
+Workload samples are deterministic; pass ``--benchmark-only`` to run
+these without the unit suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, default_context
+
+N_WORKLOADS = 20
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Shared context with pre-warmed rate caches."""
+    ctx = default_context(max_workloads=N_WORKLOADS, seed=42)
+    for workload in ctx.workloads:
+        for rates in (ctx.smt_rates, ctx.quad_rates):
+            for coschedule in workload.coschedules(4):
+                rates.type_rates(coschedule)
+    return ctx

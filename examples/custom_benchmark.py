@@ -1,0 +1,86 @@
+"""Bring your own benchmark: extend the roster and analyze symbiosis.
+
+Defines a new synthetic job type ("vectorsum", a prefetch-friendly
+streaming kernel with very high MLP), adds it to the roster, and asks
+the library the questions a performance engineer would:
+
+* who are its best and worst co-runners on the SMT machine?
+* how does adding it to a workload change the symbiotic headroom?
+
+Run:  python examples/custom_benchmark.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    JobTypeParams,
+    RateTable,
+    Workload,
+    fcfs_throughput,
+    optimal_throughput,
+    smt_machine,
+)
+from repro.microarch.benchmarks import default_roster
+
+
+def make_vectorsum() -> JobTypeParams:
+    """A streaming vector kernel: wide, regular, bandwidth-hungry."""
+    return JobTypeParams(
+        name="vectorsum",
+        category="memory",
+        cpi_base=0.30,
+        ilp_sens=0.15,
+        w_need=72,
+        br_mpki=0.1,
+        cpi_short=0.04,
+        mpki_inf=20.0,  # streaming: misses barely react to cache
+        mpki_amp=1.0,
+        c_half_mb=0.5,
+        gamma=1.0,
+        mlp=8.0,  # deep prefetch pipeline
+    )
+
+
+def main() -> None:
+    roster = default_roster()
+    roster["vectorsum"] = make_vectorsum()
+    rates = RateTable(smt_machine(), roster)
+
+    alone = rates.alone_ipc("vectorsum")
+    print(f"vectorsum alone: IPC {alone:.2f}\n")
+
+    print("pairwise symbiosis on the SMT machine (pair WIPC sum):")
+    pairs = []
+    for partner in sorted(roster):
+        if partner == "vectorsum":
+            continue
+        coschedule = ("vectorsum", partner)
+        pairs.append((rates.instantaneous_throughput(coschedule), partner))
+    pairs.sort(reverse=True)
+    for it, partner in pairs[:3]:
+        print(f"  good partner : {partner:12s} it = {it:.2f}")
+    for it, partner in pairs[-3:]:
+        print(f"  bad partner  : {partner:12s} it = {it:.2f}")
+
+    print("\nworkload impact:")
+    for types in (
+        ("hmmer", "calculix", "sjeng", "vectorsum"),
+        ("mcf", "libquantum", "xalancbmk", "vectorsum"),
+    ):
+        workload = Workload.of(*types)
+        best = optimal_throughput(rates, workload)
+        base = fcfs_throughput(rates, workload)
+        gain = best.throughput / base.throughput - 1.0
+        print(
+            f"  {workload.label():48s} optimal {best.throughput:.3f} "
+            f"vs FCFS {base.throughput:.3f} ({gain:+.1%})"
+        )
+    print(
+        "\nAs the paper predicts, pairing the streamer with compute jobs "
+        "leaves more\nheadroom than stacking it with other memory-bound "
+        "jobs, but either way the\noptimal-over-FCFS margin stays modest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Using optimal throughput as a metric in a microarchitecture study.
+
+Section VII's methodology demo: you are evaluating SMT fetch policies
+(round-robin vs ICOUNT) and ROB partitioning (static vs dynamic).  The
+usual methodology reports FCFS throughput; the paper shows you can also
+report the *optimal-scheduler* throughput — the LP bound of Section IV
+— with no scheduler implementation, and check whether your conclusion
+survives intelligent scheduling.
+
+Run:  python examples/microarch_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core.policy_study import ALL_POLICIES, policy_label, run_policy_study
+from repro.core.workload import Workload
+
+WORKLOADS = [
+    Workload.of("bzip2", "hmmer", "libquantum", "mcf"),
+    Workload.of("calculix", "mcf", "sjeng", "xalancbmk"),
+    Workload.of("gcc.g23", "h264ref", "perlbench", "tonto"),
+    Workload.of("hmmer", "libquantum", "mcf", "xalancbmk"),
+    Workload.of("bzip2", "calculix", "gcc.cp-decl", "sjeng"),
+]
+
+
+def main() -> None:
+    print(f"running the 4-policy study over {len(WORKLOADS)} workloads...\n")
+    study = run_policy_study(WORKLOADS)
+
+    print(f"{'policy':<22s} {'FCFS TP':>8s} {'optimal TP':>11s} "
+          f"{'sched. gain':>12s}")
+    for fetch, rob in ALL_POLICIES:
+        result = study.result(fetch, rob)
+        gain = result.mean_optimal / result.mean_fcfs - 1.0
+        print(
+            f"{policy_label(fetch, rob):<22s} {result.mean_fcfs:8.3f} "
+            f"{result.mean_optimal:11.3f} {gain:12.1%}"
+        )
+
+    from repro.microarch.config import FetchPolicy, RobPolicy
+
+    baseline = (FetchPolicy.ROUND_ROBIN, RobPolicy.STATIC)
+    best = (FetchPolicy.ICOUNT, RobPolicy.DYNAMIC)
+    print()
+    print(
+        "icount+dynamic over rr+static, FCFS metric   : "
+        f"{study.mean_gain_over(baseline, best, metric='fcfs'):+.1%}"
+    )
+    print(
+        "icount+dynamic over rr+static, optimal metric: "
+        f"{study.mean_gain_over(baseline, best, metric='optimal'):+.1%}"
+    )
+    print(
+        "workloads whose preferred policy flips       : "
+        f"{study.flip_fraction():.0%}"
+    )
+    print(
+        "\nPaper's take-away: the ranking is stable on average, but for "
+        "individual\nworkloads the scheduler can change which design wins — "
+        "and the scheduling\nheadroom itself can rival the microarchitectural "
+        "improvement."
+    )
+
+
+if __name__ == "__main__":
+    main()

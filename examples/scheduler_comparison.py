@@ -1,0 +1,83 @@
+"""Head-to-head: FCFS vs MAXIT vs SRPT vs MAXTP on one workload.
+
+Runs both Section-VI experiments on the SMT machine:
+
+* the saturation experiment (Figure 6) — who sustains the highest
+  long-term throughput when the queue never empties;
+* the latency experiment (Figure 5) — turnaround, utilization, and
+  empty fraction at increasing load.
+
+The punchline matches the paper: SRPT wins turnaround at moderate load
+without improving throughput at all; MAXTP converts a small throughput
+gain into a large turnaround cut only near saturation.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    RateTable,
+    Workload,
+    fcfs_throughput,
+    optimal_throughput,
+    smt_machine,
+    worst_throughput,
+)
+from repro.queueing.experiment import (
+    run_latency_experiment,
+    run_saturation_experiment,
+)
+
+SCHEDULERS = ("fcfs", "maxit", "srpt", "maxtp")
+
+
+def main() -> None:
+    rates = RateTable.for_machine(smt_machine())
+    workload = Workload.of("calculix", "mcf", "sjeng", "xalancbmk")
+    print(f"workload: {workload.label()}\n")
+
+    best = optimal_throughput(rates, workload).throughput
+    worst = worst_throughput(rates, workload).throughput
+    analytic = fcfs_throughput(rates, workload).throughput
+    print("theoretical bounds (Section IV linear program):")
+    print(f"  LP maximum   : {best:.4f}")
+    print(f"  FCFS (TPCalc): {analytic:.4f}")
+    print(f"  LP minimum   : {worst:.4f}\n")
+
+    print("saturation experiment (throughput, normalized to FCFS):")
+    base = run_saturation_experiment(
+        rates, workload, "fcfs", n_jobs=3_000, seed=9
+    ).throughput
+    for name in SCHEDULERS:
+        result = run_saturation_experiment(
+            rates, workload, name, n_jobs=3_000, seed=9
+        )
+        print(
+            f"  {name:6s}: {result.throughput:.4f} "
+            f"({result.throughput / base:5.3f}x)"
+        )
+    print(f"  (LP maximum would be {best / base:5.3f}x)\n")
+
+    print("latency experiment:")
+    print(f"  {'load':>5s}  {'sched':>6s}  {'turnaround':>10s}  "
+          f"{'vs fcfs':>8s}  {'util':>5s}  {'empty':>6s}")
+    for load in (0.8, 0.9, 0.95):
+        fcfs_tt = None
+        for name in SCHEDULERS:
+            result = run_latency_experiment(
+                rates, workload, name, load=load, n_jobs=5_000, seed=7
+            )
+            if name == "fcfs":
+                fcfs_tt = result.mean_turnaround
+            ratio = result.mean_turnaround / fcfs_tt
+            print(
+                f"  {load:5.2f}  {name:>6s}  {result.mean_turnaround:10.3f}  "
+                f"{ratio:8.3f}  {result.utilization:5.2f}  "
+                f"{result.empty_fraction:6.1%}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The Section-V.D fairness counterfactual.
+
+To show that SMT's *unfair* interference (some jobs slowed far more
+than others) is what pins the optimal scheduler near FCFS, the paper
+artificially redistributes performance inside the single
+fully-heterogeneous coschedule: slower jobs get a higher rate and
+faster jobs a lower one, **keeping the coschedule's instantaneous
+throughput unchanged**.  After the transform the optimal scheduler can
+run the heterogeneous coschedule nearly all the time (every type now
+progresses at the same rate, so the equal-work constraint is easy), and
+optimal throughput rises substantially while FCFS and the worst
+scheduler barely move.
+
+:func:`equalize_heterogeneous_rates` implements the transform as a
+blend: ``rate_b' = (1 - blend) * rate_b + blend * it(s)/N`` on the
+heterogeneity-N coschedule, returning a frozen
+:class:`~repro.microarch.rates.TableRates` copy of the workload's rate
+table with only that entry edited.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.core.workload import Workload
+from repro.microarch.rates import RateSource, TableRates
+
+__all__ = ["equalize_heterogeneous_rates"]
+
+
+def equalize_heterogeneous_rates(
+    rates: RateSource,
+    workload: Workload,
+    *,
+    contexts: int | None = None,
+    blend: float = 1.0,
+) -> TableRates:
+    """Equalize per-type rates in the fully heterogeneous coschedule.
+
+    Args:
+        rates: the original rate source.
+        workload: must have exactly as many types as there are contexts
+            (so a single coschedule contains every type once, as in the
+            paper's N = K = 4 setup).
+        contexts: number of contexts K; inferred when possible.
+        blend: 0 leaves rates unchanged, 1 makes every type's rate
+            exactly ``it(s)/N``.
+
+    Returns:
+        A frozen rate table covering the workload's coschedules, with
+        the heterogeneity-N entry transformed.
+    """
+    if not 0.0 <= blend <= 1.0:
+        raise WorkloadError(f"blend must be in [0, 1], got {blend}")
+    machine = getattr(rates, "machine", None)
+    k = contexts if contexts is not None else (machine.contexts if machine else None)
+    if k is None:
+        raise ValueError("pass contexts=K for rate sources without a machine")
+    if workload.n_types != k:
+        raise WorkloadError(
+            f"the fairness counterfactual needs N == K (one fully "
+            f"heterogeneous coschedule); got N={workload.n_types}, K={k}"
+        )
+
+    coschedules = workload.coschedules(k)
+    table = {s: dict(rates.type_rates(s)) for s in coschedules}
+
+    hetero = tuple(workload.types)  # each type exactly once
+    original = table[hetero]
+    fair_share = sum(original.values()) / workload.n_types
+    table[hetero] = {
+        b: (1.0 - blend) * rate + blend * fair_share
+        for b, rate in original.items()
+    }
+    return TableRates(table)

@@ -1,0 +1,241 @@
+"""FCFS average throughput: the symbiosis-unaware baseline.
+
+The paper compares its optimal scheduler against a first-come
+first-served scheduler that "knows nothing about the workload": jobs are
+drawn uniformly from the N types, and whenever a job finishes the next
+queued job takes its context, regardless of symbiosis.  The paper
+computes this baseline with TPCalc (Eyerman, Michaud, Rogiest, TACO
+2014).  We provide the same quantity two ways:
+
+* :func:`fcfs_throughput` — an analytic continuous-time Markov chain
+  over coschedule multisets.  In state ``s`` each type-b job completes
+  at rate ``r_b(s) / count_b(s)`` (exponential job sizes with unit mean
+  work) and is replaced by a uniformly drawn type.  The stationary
+  distribution gives per-coschedule time fractions — including the
+  Table-II effect that slow jobs linger, shifting the mix away from the
+  multinomial draw probabilities — and the average throughput.
+* :func:`simulate_fcfs_throughput` — a discrete-event simulation with
+  *fixed-size* (equal-work) jobs, used to validate the exponential-size
+  analytic model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ModelError, WorkloadError
+from repro.core.workload import Workload
+from repro.microarch.rates import RateSource
+from repro.util.multiset import multisets, replace_one
+from repro.util.rng import make_rng
+
+__all__ = ["FcfsResult", "fcfs_throughput", "simulate_fcfs_throughput"]
+
+
+@dataclass(frozen=True)
+class FcfsResult:
+    """FCFS throughput and the coschedule mix that produces it.
+
+    Attributes:
+        workload: the analyzed workload.
+        throughput: long-term average throughput (WIPC).
+        fractions: long-run fraction of time spent in each coschedule.
+    """
+
+    workload: Workload
+    throughput: float
+    fractions: dict[tuple[str, ...], float]
+
+    def fraction_of(self, coschedule) -> float:
+        """Time fraction of a coschedule (0.0 if never visited)."""
+        return self.fractions.get(tuple(sorted(coschedule)), 0.0)
+
+
+def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
+    if contexts is not None:
+        if contexts <= 0:
+            raise WorkloadError(f"contexts must be positive, got {contexts}")
+        return contexts
+    machine = getattr(rates, "machine", None)
+    if machine is not None:
+        return machine.contexts
+    raise WorkloadError(
+        "cannot infer the number of contexts from this rate source; "
+        "pass contexts=K explicitly"
+    )
+
+
+def _draw_probabilities(
+    workload: Workload, type_weights: Mapping[str, float] | None
+) -> dict[str, float]:
+    """Normalized per-type draw probabilities (uniform by default)."""
+    if type_weights is None:
+        share = 1.0 / workload.n_types
+        return {b: share for b in workload.types}
+    missing = [b for b in workload.types if b not in type_weights]
+    if missing:
+        raise WorkloadError(f"type_weights missing entries for {missing}")
+    values = {b: float(type_weights[b]) for b in workload.types}
+    if any(v <= 0.0 for v in values.values()):
+        raise WorkloadError("type_weights must be positive")
+    total = sum(values.values())
+    return {b: v / total for b, v in values.items()}
+
+
+def fcfs_throughput(
+    rates: RateSource,
+    workload: Workload,
+    *,
+    contexts: int | None = None,
+    type_weights: Mapping[str, float] | None = None,
+) -> FcfsResult:
+    """Analytic FCFS average throughput (TPCalc-style Markov model).
+
+    Args:
+        rates: per-coschedule execution rates.
+        workload: the N job types.
+        contexts: number of contexts K (inferred from ``rates.machine``
+            when omitted).
+        type_weights: per-type job-arrival shares; omitted = the
+            paper's equiprobable types.
+
+    Raises:
+        ModelError: if some coschedule has a type with zero rate (the
+            chain would stall there).
+    """
+    k = _infer_contexts(rates, contexts)
+    draw = _draw_probabilities(workload, type_weights)
+    states = list(multisets(workload.types, k))
+    index = {s: i for i, s in enumerate(states)}
+    n_states = len(states)
+
+    generator = np.zeros((n_states, n_states))
+    throughputs = np.zeros(n_states)
+
+    for s, i in index.items():
+        type_rates = rates.type_rates(s)
+        throughputs[i] = sum(type_rates.values())
+        counts = Counter(s)
+        for b, count in counts.items():
+            total_rate = type_rates.get(b, 0.0)
+            if total_rate <= 0.0:
+                raise ModelError(
+                    f"type {b!r} has zero rate in coschedule {s}; the FCFS "
+                    "chain cannot leave this state"
+                )
+            # Each of the `count` type-b jobs completes at rate
+            # total_rate / count; any completion is a type-b departure,
+            # so type-b departures occur at `total_rate` overall, and
+            # the replacement type is drawn from the arrival mix.
+            for c in workload.types:
+                if c == b:
+                    continue  # self-loop: no state change
+                target = index[replace_one(s, b, c)]
+                generator[i, target] += total_rate * draw[c]
+
+    # Diagonal: rows of a generator sum to zero.
+    np.fill_diagonal(generator, 0.0)
+    np.fill_diagonal(generator, -generator.sum(axis=1))
+
+    # Stationary distribution: pi Q = 0, sum(pi) = 1.
+    system = np.vstack([generator.T, np.ones(n_states)])
+    target = np.zeros(n_states + 1)
+    target[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(system, target, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0.0:
+        raise ModelError("FCFS chain produced a degenerate distribution")
+    pi /= total
+
+    fractions = {
+        s: float(pi[i]) for s, i in index.items() if pi[i] > 1e-12
+    }
+    return FcfsResult(
+        workload=workload,
+        throughput=float(pi @ throughputs),
+        fractions=fractions,
+    )
+
+
+def simulate_fcfs_throughput(
+    rates: RateSource,
+    workload: Workload,
+    *,
+    contexts: int | None = None,
+    n_jobs: int = 20_000,
+    job_size: float = 1.0,
+    seed: int = 0,
+) -> FcfsResult:
+    """Discrete-event FCFS throughput with fixed-size jobs.
+
+    A long queue of ``n_jobs`` jobs with uniformly random types is
+    executed on the K contexts: whenever a job completes, the next
+    queued job takes its slot (the maximum-throughput experiment of
+    Section III-A).  All jobs carry ``job_size`` units of work, matching
+    the paper's equal-work assumption; the analytic model assumes
+    exponential sizes instead, and the two agree closely.
+
+    The measurement stops when the arrival queue empties, so the system
+    is fully loaded for the entire measured interval (no drain tail with
+    idle contexts — this is a *maximum throughput* experiment).
+    """
+    k = _infer_contexts(rates, contexts)
+    if n_jobs < k:
+        raise WorkloadError(f"need at least {k} jobs, got {n_jobs}")
+    if job_size <= 0.0:
+        raise WorkloadError(f"job_size must be positive, got {job_size}")
+    rng = make_rng(seed)
+
+    arrivals = [rng.choice(workload.types) for _ in range(n_jobs)]
+    running: list[dict] = [
+        {"type": arrivals[i], "remaining": job_size} for i in range(k)
+    ]
+    next_arrival = k
+
+    clock = 0.0
+    work_done = 0.0
+    time_in: dict[tuple[str, ...], float] = {}
+
+    while next_arrival < n_jobs:
+        coschedule = tuple(sorted(job["type"] for job in running))
+        type_rates = rates.type_rates(coschedule)
+        counts = Counter(coschedule)
+        per_job_rate = {
+            b: type_rates.get(b, 0.0) / counts[b] for b in counts
+        }
+        finish_times = [
+            job["remaining"] / per_job_rate[job["type"]]
+            if per_job_rate[job["type"]] > 0.0
+            else float("inf")
+            for job in running
+        ]
+        dt = min(finish_times)
+        if dt == float("inf"):
+            raise ModelError(
+                f"coschedule {coschedule} makes no progress; zero rates"
+            )
+        winner = finish_times.index(dt)
+
+        clock += dt
+        time_in[coschedule] = time_in.get(coschedule, 0.0) + dt
+        for job in running:
+            progressed = per_job_rate[job["type"]] * dt
+            job["remaining"] -= progressed
+            work_done += progressed
+        running[winner] = {
+            "type": arrivals[next_arrival],
+            "remaining": job_size,
+        }
+        next_arrival += 1
+
+    fractions = {s: t / clock for s, t in time_in.items()}
+    return FcfsResult(
+        workload=workload,
+        throughput=work_done / clock,
+        fractions=fractions,
+    )

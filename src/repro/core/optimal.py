@@ -1,0 +1,220 @@
+"""The Section-IV linear program: optimal (and worst) throughput.
+
+Let ``x_s`` be the fraction of time a scheduler spends executing
+coschedule ``s``.  The long-term average throughput is
+``sum_s x_s * it(s)`` (Equation 2), maximized subject to (Equations 3-5):
+
+* ``x_s >= 0``,
+* ``sum_s x_s = 1``,
+* equal work per type: for every type b (vs. the first type),
+  ``sum_s x_s * r_b(s) = sum_s x_s * r_1(s)``.
+
+Maximizing gives the theoretically best scheduler; minimizing gives the
+deliberately worst one, and together they bound what *any* scheduler can
+achieve on the workload.  A vertex optimum uses at most N coschedules
+(the number of equality constraints), a property the paper points out
+and our tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SolverError, WorkloadError
+from repro.core.workload import Workload
+from repro.lp.model import LinearExpr, Model, Sense
+from repro.microarch.rates import RateSource
+
+__all__ = ["OptimalSchedule", "optimal_throughput", "worst_throughput"]
+
+
+@dataclass(frozen=True)
+class OptimalSchedule:
+    """The LP's answer for one workload.
+
+    Attributes:
+        workload: the analyzed workload.
+        throughput: the optimal (or worst) long-term average throughput
+            in weighted instructions per cycle.
+        fractions: time fraction per coschedule, support only (fractions
+            below 1e-12 are dropped).
+        sense: "max" or "min".
+        duals: dual values of the LP constraints — ``time_budget`` is
+            the marginal value of a unit of time (equal to the optimal
+            per-coschedule "adjusted throughput"), and
+            ``equal_work[b]`` prices the equal-work constraint of type
+            b (how much throughput a unit of allowed work imbalance
+            toward type b would buy).  Complementary slackness ties
+            these to the support: every used coschedule s satisfies
+            ``it(s) = y_time + sum_b y_b (r_b(s) - r_1(s))``.
+        per_type_rate: the common long-term execution rate every job
+            type sustains under the schedule (throughput / N).
+    """
+
+    workload: Workload
+    throughput: float
+    fractions: dict[tuple[str, ...], float]
+    sense: str
+    duals: dict[str, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.duals is None:
+            object.__setattr__(self, "duals", {})
+
+    @property
+    def per_type_rate(self) -> float:
+        """Average per-type execution rate (equal by construction)."""
+        return self.throughput / self.workload.n_types
+
+    def support_size(self) -> int:
+        """Number of coschedules with non-zero time fraction."""
+        return len(self.fractions)
+
+    def fraction_of(self, coschedule: Sequence[str]) -> float:
+        """Time fraction of a coschedule (0.0 if unused)."""
+        return self.fractions.get(tuple(sorted(coschedule)), 0.0)
+
+
+def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
+    """Context count from the rate source's machine, or the argument."""
+    if contexts is not None:
+        if contexts <= 0:
+            raise WorkloadError(f"contexts must be positive, got {contexts}")
+        return contexts
+    machine = getattr(rates, "machine", None)
+    if machine is not None:
+        return machine.contexts
+    raise WorkloadError(
+        "cannot infer the number of contexts from this rate source; "
+        "pass contexts=K explicitly"
+    )
+
+
+def _normalize_weights(
+    workload: Workload, type_weights: Mapping[str, float] | None
+) -> dict[str, float]:
+    """Per-type work shares, normalized to sum to 1 (uniform default)."""
+    if type_weights is None:
+        share = 1.0 / workload.n_types
+        return {b: share for b in workload.types}
+    missing = [b for b in workload.types if b not in type_weights]
+    if missing:
+        raise WorkloadError(f"type_weights missing entries for {missing}")
+    values = {b: float(type_weights[b]) for b in workload.types}
+    if any(v <= 0.0 for v in values.values()):
+        raise WorkloadError("type_weights must be positive")
+    total = sum(values.values())
+    return {b: v / total for b, v in values.items()}
+
+
+def _solve(
+    rates: RateSource,
+    workload: Workload,
+    contexts: int | None,
+    sense: Sense,
+    backend: str,
+    type_weights: Mapping[str, float] | None = None,
+) -> OptimalSchedule:
+    k = _infer_contexts(rates, contexts)
+    coschedules = workload.coschedules(k)
+    type_rates = {s: rates.type_rates(s) for s in coschedules}
+    weights = _normalize_weights(workload, type_weights)
+
+    model = Model(
+        name=f"{'max' if sense is Sense.MAXIMIZE else 'min'}_tp[{workload.label()}]",
+        sense=sense,
+    )
+    x = {s: model.add_variable(f"x[{','.join(s)}]") for s in coschedules}
+
+    total_time = LinearExpr({x[s]: 1.0 for s in coschedules})
+    model.add_constraint(total_time == 1.0, name="time_budget")
+
+    # Work proportionality (Equation 5, generalized): each type's share
+    # of the executed work matches its weight — work_b / w_b equals
+    # work_ref / w_ref, written with a w_ref/w_b scale so the uniform
+    # case reduces to the paper's equal-work constraint verbatim.
+    reference = workload.types[0]
+    for b in workload.types[1:]:
+        scale = weights[reference] / weights[b]
+        balance = LinearExpr(
+            {
+                x[s]: type_rates[s].get(b, 0.0) * scale
+                - type_rates[s].get(reference, 0.0)
+                for s in coschedules
+            }
+        )
+        model.add_constraint(balance == 0.0, name=f"equal_work[{b}]")
+
+    objective = LinearExpr(
+        {x[s]: sum(type_rates[s].values()) for s in coschedules}
+    )
+    model.set_objective(objective)
+
+    solution = model.solve(backend=backend)
+    if not solution.is_optimal:
+        raise SolverError(
+            f"throughput LP for {workload.label()} terminated "
+            f"{solution.status.value}; the equal-work constraints should "
+            "always be satisfiable with positive rates"
+        )
+
+    fractions: dict[tuple[str, ...], float] = {}
+    for s in coschedules:
+        value = solution.value(x[s].name)
+        if value > 1e-12:
+            fractions[s] = value
+
+    return OptimalSchedule(
+        workload=workload,
+        throughput=solution.objective,
+        fractions=fractions,
+        sense="max" if sense is Sense.MAXIMIZE else "min",
+        duals=dict(solution.duals),
+    )
+
+
+def optimal_throughput(
+    rates: RateSource,
+    workload: Workload,
+    *,
+    contexts: int | None = None,
+    backend: str = "simplex",
+    type_weights: Mapping[str, float] | None = None,
+) -> OptimalSchedule:
+    """Maximum long-term throughput of any scheduler on the workload.
+
+    Args:
+        rates: per-coschedule execution rates (a
+            :class:`repro.microarch.rates.RateTable` or compatible).
+        workload: the N job types.
+        contexts: number of hardware contexts K; inferred from
+            ``rates.machine`` when omitted.
+        backend: LP backend ("simplex" or "scipy").
+        type_weights: per-type work shares (normalized internally);
+            omitted = the paper's equal-work assumption.  The paper
+            notes that skewed weights "would dominate the execution,
+            thereby limiting the possibilities to exploit symbiosis" —
+            pass a skew here to quantify that remark.
+    """
+    return _solve(
+        rates, workload, contexts, Sense.MAXIMIZE, backend, type_weights
+    )
+
+
+def worst_throughput(
+    rates: RateSource,
+    workload: Workload,
+    *,
+    contexts: int | None = None,
+    backend: str = "simplex",
+    type_weights: Mapping[str, float] | None = None,
+) -> OptimalSchedule:
+    """Minimum long-term throughput: the deliberately worst scheduler.
+
+    Together with :func:`optimal_throughput` this bounds the throughput
+    of *any* scheduling policy on the workload (Section IV).
+    """
+    return _solve(
+        rates, workload, contexts, Sense.MINIMIZE, backend, type_weights
+    )

@@ -1,0 +1,94 @@
+"""Workloads: the Section-III-D workload model.
+
+A *workload* is a combination of N distinct job types.  The workload
+contains an unlimited number of jobs of each type, the types are
+equiprobable, and every type contributes the same total amount of work
+(the paper's equal-work assumption, which Equation 5 enforces in the
+LP).  For the default evaluation, N = 4 types are chosen out of the 12
+roster benchmarks, giving C(12, 4) = 495 workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.errors import WorkloadError
+from repro.util.multiset import multisets
+
+__all__ = ["Workload", "all_workloads"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An unordered set of N distinct job types.
+
+    Attributes:
+        types: the job-type names, canonically sorted and distinct.
+    """
+
+    types: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.types:
+            raise WorkloadError("a workload needs at least one job type")
+        if list(self.types) != sorted(set(self.types)):
+            raise WorkloadError(
+                f"workload types must be sorted and distinct, got {self.types}; "
+                "use Workload.of(...) to canonicalize"
+            )
+
+    @classmethod
+    def of(cls, *names: str) -> "Workload":
+        """Build a workload from job-type names in any order.
+
+        >>> Workload.of("mcf", "bzip2").types
+        ('bzip2', 'mcf')
+        """
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate job types in workload: {names}")
+        return cls(types=tuple(sorted(names)))
+
+    @property
+    def n_types(self) -> int:
+        """Number of distinct job types N."""
+        return len(self.types)
+
+    def coschedules(self, contexts: int) -> list[tuple[str, ...]]:
+        """All coschedules: multisets of ``contexts`` jobs over the types.
+
+        For N = 4 types and K = 4 contexts this yields the paper's 35
+        combinations (AAAA, AAAB, ..., DDDD).
+        """
+        if contexts <= 0:
+            raise WorkloadError(f"contexts must be positive, got {contexts}")
+        return list(multisets(self.types, contexts))
+
+    def label(self) -> str:
+        """Human-readable label for reports."""
+        return "+".join(self.types)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.types
+
+    def __iter__(self):
+        return iter(self.types)
+
+
+def all_workloads(
+    available_types: Sequence[str] | Iterable[str], n_types: int
+) -> list[Workload]:
+    """Every workload of ``n_types`` distinct types from a pool.
+
+    With the 12-benchmark roster and ``n_types=4`` this returns the 495
+    workloads of the paper's default evaluation.
+    """
+    pool = sorted(set(available_types))
+    if n_types <= 0:
+        raise WorkloadError(f"n_types must be positive, got {n_types}")
+    if n_types > len(pool):
+        raise WorkloadError(
+            f"cannot choose {n_types} distinct types from {len(pool)} available"
+        )
+    return [Workload(types=combo) for combo in combinations(pool, n_types)]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc. still
+propagate as usual).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ModelError",
+    "ConvergenceError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverError",
+    "SimulationError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, benchmark, or experiment configuration."""
+
+
+class ModelError(ReproError):
+    """A performance-model invariant was violated (e.g. negative rate)."""
+
+
+class ConvergenceError(ModelError):
+    """A fixed-point iteration failed to converge within its budget."""
+
+
+class SolverError(ReproError):
+    """Base class for linear-programming solver failures."""
+
+
+class InfeasibleError(SolverError):
+    """The linear program has no feasible point."""
+
+
+class UnboundedError(SolverError):
+    """The linear program is unbounded in the optimization direction."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation entered an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload specification (unknown types, bad counts...)."""

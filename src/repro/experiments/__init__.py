@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``compute_*`` functions returning plain dataclasses
+(consumed by tests and benchmarks) and a ``render`` function producing
+the rows/series the paper reports.  ``python -m repro.experiments.runner
+--list`` enumerates them; EXPERIMENTS.md records paper-vs-measured
+values for every artifact.
+
+| Module        | Paper artifact                                          |
+|---------------|---------------------------------------------------------|
+| table1        | Table I — benchmark roster                              |
+| figure1       | Fig. 1 — IPC / inst-TP / avg-TP variability bars        |
+| figure2       | Fig. 2 — optimal-vs-worst vs FCFS-vs-worst scatter      |
+| figure3       | Fig. 3 — linear-bottleneck error vs TP variability      |
+| table2        | Table II — coschedule fractions by heterogeneity        |
+| figure4       | Fig. 4 — M/M/4 turnaround vs arrival rate               |
+| figure5       | Fig. 5 — TT / utilization / empty fraction, 4 schedulers|
+| figure6       | Fig. 6 — achieved saturation throughput per workload    |
+| section7      | Sec. VII — fetch/ROB policy study                       |
+| ntypes        | Sec. V.B — optimal gain vs number of job types          |
+| fairness_cf   | Sec. V.D — fairness counterfactual                      |
+| makespan_exp  | Sec. II — small-set makespan (LJF vs symbiosis-aware)   |
+| units_exp     | Sec. III-B — raw-instruction unit-of-work check         |
+| skew_exp      | Sec. III-D — work-share skew vs symbiotic headroom      |
+| summary       | abstract — headline digest, measured vs paper           |
+"""

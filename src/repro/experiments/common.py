@@ -1,0 +1,96 @@
+"""Shared experiment plumbing: contexts, sampling, table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.workload import Workload, all_workloads
+from repro.microarch.benchmarks import BENCHMARK_NAMES
+from repro.microarch.config import quad_core_machine, smt_machine
+from repro.microarch.rates import RateTable
+from repro.util.rng import make_rng
+
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "sample_workloads",
+    "format_table",
+]
+
+
+@dataclass
+class ExperimentContext:
+    """Rate tables for both machines plus the workload list.
+
+    Building a context is cheap; coschedules are simulated lazily and
+    cached inside each :class:`~repro.microarch.rates.RateTable`, so
+    drivers sharing a context share the simulation work — the analogue
+    of the paper running its 1,365-combination Sniper sweep once.
+    """
+
+    smt_rates: RateTable
+    quad_rates: RateTable
+    workloads: list[Workload] = field(default_factory=list)
+
+    def rates_for(self, config: str) -> RateTable:
+        """The rate table for "smt" or "quad"."""
+        if config == "smt":
+            return self.smt_rates
+        if config == "quad":
+            return self.quad_rates
+        raise ValueError(f"config must be 'smt' or 'quad', got {config!r}")
+
+
+def default_context(
+    *,
+    n_types: int = 4,
+    max_workloads: int | None = None,
+    seed: int = 0,
+) -> ExperimentContext:
+    """The paper's default setup: 495 four-type workloads, two machines.
+
+    Args:
+        n_types: job types per workload (the paper's N, default 4).
+        max_workloads: optional deterministic subsample (benchmarks use
+            this to bound runtime; None = all workloads).
+        seed: sampling seed when subsampling.
+    """
+    workloads = all_workloads(BENCHMARK_NAMES, n_types)
+    if max_workloads is not None and max_workloads < len(workloads):
+        workloads = sample_workloads(workloads, max_workloads, seed=seed)
+    return ExperimentContext(
+        smt_rates=RateTable(smt_machine()),
+        quad_rates=RateTable(quad_core_machine()),
+        workloads=list(workloads),
+    )
+
+
+def sample_workloads(
+    workloads: Sequence[Workload], count: int, *, seed: int = 0
+) -> list[Workload]:
+    """Deterministic subsample preserving diversity (shuffle + take)."""
+    rng = make_rng(seed)
+    pool = list(workloads)
+    rng.shuffle(pool)
+    return pool[:count]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned text table (monospace; for CLI output)."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Figure 6: achieved saturation throughput of the four schedulers.
+
+Each workload is run with the arrival rate above the maximum throughput
+(a saturated backlog); the achieved throughput of MAXIT, SRPT, and
+MAXTP is reported relative to FCFS, next to the theoretical LP maximum
+and minimum.  The paper's pattern: SRPT matches FCFS, MAXIT dips
+slightly below (it starves slow jobs and pays later), and MAXTP tracks
+the LP maximum almost exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.fcfs import fcfs_throughput
+from repro.core.optimal import optimal_throughput, worst_throughput
+from repro.core.workload import Workload
+from repro.experiments.common import ExperimentContext, format_table, sample_workloads
+from repro.microarch.rates import RateTable
+from repro.queueing.experiment import run_saturation_experiment
+
+__all__ = ["Figure6Point", "compute_figure6", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Figure6Point:
+    """One workload's saturation throughputs, normalized to FCFS (DES)."""
+
+    workload_label: str
+    fcfs_throughput: float
+    maxit_relative: float
+    srpt_relative: float
+    maxtp_relative: float
+    lp_maximum_relative: float
+    lp_minimum_relative: float
+    fcfs_analytic_relative: float
+
+
+def compute_figure6(
+    rates: RateTable,
+    workloads: Sequence[Workload],
+    *,
+    n_jobs: int = 3_000,
+    seed: int = 0,
+) -> list[Figure6Point]:
+    """Run the saturation experiment for every scheduler and workload.
+
+    Points are sorted by increasing LP-maximum headroom, matching the
+    paper's x-axis ordering.
+    """
+    points = []
+    for workload in workloads:
+        base = run_saturation_experiment(
+            rates, workload, "fcfs", n_jobs=n_jobs, seed=seed
+        ).throughput
+        results = {
+            name: run_saturation_experiment(
+                rates, workload, name, n_jobs=n_jobs, seed=seed
+            ).throughput
+            for name in ("maxit", "srpt", "maxtp")
+        }
+        points.append(
+            Figure6Point(
+                workload_label=workload.label(),
+                fcfs_throughput=base,
+                maxit_relative=results["maxit"] / base,
+                srpt_relative=results["srpt"] / base,
+                maxtp_relative=results["maxtp"] / base,
+                lp_maximum_relative=optimal_throughput(rates, workload).throughput
+                / base,
+                lp_minimum_relative=worst_throughput(rates, workload).throughput
+                / base,
+                fcfs_analytic_relative=fcfs_throughput(rates, workload).throughput
+                / base,
+            )
+        )
+    points.sort(key=lambda p: p.lp_maximum_relative)
+    return points
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    config: str = "smt",
+    max_workloads: int = 30,
+    n_jobs: int = 3_000,
+    seed: int = 0,
+) -> list[Figure6Point]:
+    """Figure 6 on a deterministic workload subsample."""
+    workloads = sample_workloads(context.workloads, max_workloads, seed=seed)
+    return compute_figure6(
+        context.rates_for(config), workloads, n_jobs=n_jobs, seed=seed
+    )
+
+
+def render(points: list[Figure6Point]) -> str:
+    """Per-workload series plus scheduler means."""
+    table = format_table(
+        ["workload", "MAXIT", "SRPT", "MAXTP", "LP max", "LP min"],
+        [
+            (
+                p.workload_label,
+                f"{p.maxit_relative:.3f}",
+                f"{p.srpt_relative:.3f}",
+                f"{p.maxtp_relative:.3f}",
+                f"{p.lp_maximum_relative:.3f}",
+                f"{p.lp_minimum_relative:.3f}",
+            )
+            for p in points
+        ],
+    )
+    n = len(points)
+    means = (
+        f"\nmeans vs FCFS: MAXIT "
+        f"{sum(p.maxit_relative for p in points) / n:.3f}, SRPT "
+        f"{sum(p.srpt_relative for p in points) / n:.3f}, MAXTP "
+        f"{sum(p.maxtp_relative for p in points) / n:.3f}, LP max "
+        f"{sum(p.lp_maximum_relative for p in points) / n:.3f}"
+    )
+    return table + means

@@ -1,0 +1,205 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner figure1
+    python -m repro.experiments.runner all --max-workloads 60
+
+Each artifact prints the same rows/series the paper reports.  The full
+495-workload run of the analytic artifacts (table1/figure1/figure2/
+figure3/table2/ntypes/fairness) takes tens of seconds; the
+discrete-event artifacts (figure5/figure6) and the four-machine policy
+study (section7) use deterministic workload subsamples by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    common,
+    fairness_cf,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    makespan_exp,
+    ntypes,
+    section7,
+    skew_exp,
+    summary,
+    table1,
+    table2,
+    units_exp,
+)
+
+__all__ = ["main", "ARTIFACTS"]
+
+
+def _run_table1(context, args) -> str:
+    return table1.render(table1.compute_table1(context))
+
+
+def _run_figure1(context, args) -> str:
+    return figure1.render(figure1.run(context))
+
+
+def _run_figure2(context, args) -> str:
+    return figure2.render(figure2.run(context))
+
+
+def _run_figure3(context, args) -> str:
+    return figure3.render(figure3.run(context))
+
+
+def _run_table2(context, args) -> str:
+    return table2.render(table2.run(context))
+
+
+def _run_figure4(context, args) -> str:
+    return figure4.render(figure4.compute_example(), figure4.compute_curves())
+
+
+def _run_figure5(context, args) -> str:
+    cells = figure5.run(
+        context,
+        max_workloads=min(args.max_workloads or 24, 24)
+        if args.quick
+        else (args.max_workloads or 24),
+        seed=args.seed,
+    )
+    return figure5.render(cells)
+
+
+def _run_figure6(context, args) -> str:
+    points = figure6.run(
+        context, max_workloads=args.max_workloads or 30, seed=args.seed
+    )
+    return figure6.render(points)
+
+
+def _run_section7(context, args) -> str:
+    summary = section7.run(
+        context, max_workloads=args.max_workloads, seed=args.seed
+    )
+    return section7.render(summary)
+
+
+def _run_ntypes(context, args) -> str:
+    return ntypes.render(ntypes.run(context, seed=args.seed))
+
+
+def _run_fairness(context, args) -> str:
+    outcomes = fairness_cf.run(
+        context, max_workloads=args.max_workloads or 60, seed=args.seed
+    )
+    return fairness_cf.render(outcomes)
+
+
+def _run_makespan(context, args) -> str:
+    cells = makespan_exp.run(
+        context, max_workloads=args.max_workloads or 10, seed=args.seed
+    )
+    return makespan_exp.render(cells)
+
+
+def _run_units(context, args) -> str:
+    comparisons = units_exp.run(
+        context, max_workloads=args.max_workloads or 20, seed=args.seed
+    )
+    return units_exp.render(comparisons)
+
+
+def _run_summary(context, args) -> str:
+    return summary.render(summary.compute_summary(context))
+
+
+def _run_skew(context, args) -> str:
+    points = skew_exp.run(
+        context, max_workloads=args.max_workloads or 30, seed=args.seed
+    )
+    return skew_exp.render(points)
+
+
+ARTIFACTS: dict[str, Callable] = {
+    "table1": _run_table1,
+    "figure1": _run_figure1,
+    "figure2": _run_figure2,
+    "figure3": _run_figure3,
+    "table2": _run_table2,
+    "figure4": _run_figure4,
+    "figure5": _run_figure5,
+    "figure6": _run_figure6,
+    "section7": _run_section7,
+    "ntypes": _run_ntypes,
+    "fairness": _run_fairness,
+    "makespan": _run_makespan,
+    "units": _run_units,
+    "skew": _run_skew,
+    "summary": _run_summary,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate tables/figures from 'Revisiting Symbiotic "
+        "Job Scheduling' (ISPASS 2015).",
+    )
+    parser.add_argument(
+        "artifact",
+        nargs="?",
+        default=None,
+        help="artifact name, or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list artifacts")
+    parser.add_argument(
+        "--max-workloads",
+        type=int,
+        default=None,
+        help="cap the number of workloads (analytic artifacts use all "
+        "495 by default)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="sampling seed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small subsamples everywhere (smoke-test mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.artifact is None:
+        print("available artifacts:")
+        for name in ARTIFACTS:
+            print(f"  {name}")
+        print("  all")
+        return 0
+
+    names = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {unknown}", file=sys.stderr)
+        return 2
+
+    max_workloads = args.max_workloads
+    if args.quick and max_workloads is None:
+        max_workloads = 30
+    context = common.default_context(max_workloads=max_workloads, seed=args.seed)
+
+    for name in names:
+        start = time.time()
+        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+        print(ARTIFACTS[name](context, args))
+        print(f"---- {name} done in {time.time() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

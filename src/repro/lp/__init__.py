@@ -1,0 +1,32 @@
+"""Linear-programming substrate.
+
+The paper solves its optimal-throughput formulation with the GNU Linear
+Programming Kit.  This package provides an equivalent, self-contained
+stack:
+
+* :mod:`repro.lp.model` — a small modeling layer (variables, linear
+  expressions, constraints, objective) so the Section-IV formulation in
+  :mod:`repro.core.optimal` reads like the paper's math.
+* :mod:`repro.lp.simplex` — a dense two-phase primal simplex solver with
+  Bland's anti-cycling rule, the default backend.
+* :mod:`repro.lp.scipy_backend` — an optional backend delegating to
+  ``scipy.optimize.linprog`` (HiGHS), used in tests to cross-validate the
+  simplex implementation.
+"""
+
+from repro.lp.model import Constraint, LinearExpr, Model, Sense, Variable
+from repro.lp.solution import LPSolution, SolveStatus
+from repro.lp.simplex import solve_standard_form
+from repro.lp.standard_form import StandardForm
+
+__all__ = [
+    "Constraint",
+    "LinearExpr",
+    "Model",
+    "Sense",
+    "Variable",
+    "LPSolution",
+    "SolveStatus",
+    "solve_standard_form",
+    "StandardForm",
+]

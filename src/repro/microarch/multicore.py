@@ -1,0 +1,113 @@
+"""The multicore sharing model.
+
+On the quad-core configuration every job owns a full 4-wide core with a
+private ROB; only the LLC and the memory bus are shared.  One evaluation
+step mirrors :mod:`repro.microarch.smt_core` but without the width and
+window competition:
+
+1. per-job MPKI from LLC capacity shares;
+2. effective memory latency from total miss bandwidth;
+3. per-job IPC = 1 / (core CPI + memory CPI), capped by the core width.
+
+The interference structure that emerges matches the paper's quad-core
+discussion: compute jobs with small footprints are nearly *insensitive*
+(their allocation barely matters), memory-bound jobs interact through
+capacity and bandwidth, and slowdowns are distributed far more evenly
+than on SMT — which is exactly why the paper's optimal scheduler can
+exploit heterogeneous coschedules so much better on this machine
+(Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.microarch.cache import cache_shares
+from repro.microarch.config import MachineConfig
+from repro.microarch.membus import bus_queueing_delay, bus_utilization
+from repro.microarch.params import JobTypeParams
+
+__all__ = ["MulticoreEvaluation", "evaluate_multicore", "multicore_iteration"]
+
+
+@dataclass(frozen=True)
+class MulticoreEvaluation:
+    """One evaluation of the multicore contention equations."""
+
+    next_ipcs: tuple[float, ...]
+    next_shares: tuple[float, ...]
+    mpkis: tuple[float, ...]
+    memory_latency: float
+    bus_utilization: float
+
+
+def _core_cpi(job: JobTypeParams, machine: MachineConfig) -> float:
+    """Private-core CPI component (full window available)."""
+    scale = job.window_scaling(float(machine.rob_size))
+    return (
+        job.cpi_base * (1.0 + job.ilp_sens * (1.0 - scale))
+        + job.br_mpki / 1000.0 * machine.branch_penalty_cycles
+        + job.cpi_short
+    )
+
+
+def evaluate_multicore(
+    machine: MachineConfig,
+    jobs: Sequence[JobTypeParams],
+    ipcs: Sequence[float],
+    shares: Sequence[float],
+) -> MulticoreEvaluation:
+    """Evaluate the contention equations once at the given estimates."""
+    n = len(jobs)
+    if n == 0:
+        raise ValueError("need at least one job")
+    if len(ipcs) != n or len(shares) != n:
+        raise ValueError("state length mismatch with job count")
+
+    mpkis = [job.llc_mpki(share) for job, share in zip(jobs, shares)]
+    miss_rate = sum(i * m for i, m in zip(ipcs, mpkis)) / 1000.0
+    latency = machine.mem_latency_cycles + bus_queueing_delay(
+        miss_rate,
+        machine.bus_service_cycles,
+        max_utilization=machine.bus_max_utilization,
+    )
+    utilization = bus_utilization(
+        miss_rate,
+        machine.bus_service_cycles,
+        max_utilization=machine.bus_max_utilization,
+    )
+
+    next_ipcs = []
+    for job, mpki in zip(jobs, mpkis):
+        mlp = 1.0 + (job.mlp - 1.0) * job.window_scaling(
+            float(machine.rob_size)
+        )
+        cpi = _core_cpi(job, machine) + mpki / 1000.0 * latency / mlp
+        next_ipcs.append(min(1.0 / cpi, float(machine.width)))
+
+    pressures = [a * m / 1000.0 for a, m in zip(next_ipcs, mpkis)]
+    next_shares = cache_shares(
+        pressures,
+        machine.llc_mb,
+        floor_fraction=machine.cache_share_floor,
+    )
+
+    return MulticoreEvaluation(
+        next_ipcs=tuple(next_ipcs),
+        next_shares=tuple(next_shares),
+        mpkis=tuple(mpkis),
+        memory_latency=latency,
+        bus_utilization=utilization,
+    )
+
+
+def multicore_iteration(machine: MachineConfig, jobs: Sequence[JobTypeParams]):
+    """Fixed-point map over the state vector ``[ipc_1..n, share_1..n]``."""
+    n = len(jobs)
+
+    def iterate(state: Sequence[float]) -> list[float]:
+        evaluation = evaluate_multicore(machine, jobs, state[:n], state[n:])
+        return list(evaluation.next_ipcs) + list(evaluation.next_shares)
+
+    return iterate

@@ -1,0 +1,195 @@
+"""The SMT-core sharing model.
+
+Performance of a coschedule on the 4-way SMT core is the fixed point of
+coupled contention equations.  One evaluation step, given current
+estimates of per-thread IPC and LLC shares:
+
+1. **Cache** — each thread's LLC MPKI from its capacity share
+   (:mod:`repro.microarch.cache`).
+2. **Bus** — effective memory latency from the total miss bandwidth
+   (:mod:`repro.microarch.membus`).
+3. **ROB** — instruction-window allocations from the partitioning
+   policy and provisional stall fractions (:mod:`repro.microarch.rob`);
+   windows set effective ILP and MLP.
+4. **Width** — mean-field slot competition: while thread *i* is active
+   (not memory-stalled) it sees an expected dispatch share of
+
+       share_i = eta * W / (1 + sum_{j!=i} c_j)
+
+   where ``c_j`` is co-runner j's *rival weight* from the fetch policy
+   (:mod:`repro.microarch.fetch`: 1 under round-robin, roughly the
+   active fraction under ICOUNT — stalled threads stop eating slots),
+   and ``eta`` a front-end fragmentation factor that shrinks the usable
+   width as more threads are simultaneously active.  The thread's
+   execution rate while active is the minimum of its intrinsic rate and
+   this share.
+
+The resulting IPCs and cache-insertion pressures form the next iterate.
+The fixed point reproduces the SMT behaviours the paper leans on:
+aggregate IPC saturating far below the nominal width (the linear
+bottleneck of compute-heavy coschedules), *unfairly distributed*
+slowdowns — high-IPC threads are crushed when co-runners are active
+while memory-bound threads, already limited by their own misses, lose
+comparatively little — and the sensitivity of both to the fetch/ROB
+policies studied in Section VII (ICOUNT + dynamic ROB wins because
+stalled threads neither clog the ROB nor waste fetch slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.microarch.cache import cache_shares
+from repro.microarch.config import MachineConfig
+from repro.microarch.fetch import rival_weights
+from repro.microarch.membus import bus_queueing_delay, bus_utilization
+from repro.microarch.params import JobTypeParams
+from repro.microarch.rob import window_shares
+
+__all__ = ["SmtEvaluation", "evaluate_smt", "smt_iteration"]
+
+
+@dataclass(frozen=True)
+class SmtEvaluation:
+    """One evaluation of the SMT contention equations.
+
+    ``next_ipcs``/``next_shares`` form the next fixed-point iterate; the
+    remaining fields are diagnostics exposed by the simulator facade.
+    """
+
+    next_ipcs: tuple[float, ...]
+    next_shares: tuple[float, ...]
+    mpkis: tuple[float, ...]
+    windows: tuple[float, ...]
+    stall_fractions: tuple[float, ...]
+    memory_latency: float
+    bus_utilization: float
+
+
+def _core_cpi(
+    job: JobTypeParams, machine: MachineConfig, window: float
+) -> float:
+    """Dispatch-and-front-end CPI component with a window of given size."""
+    scale = job.window_scaling(window)
+    return (
+        job.cpi_base * (1.0 + job.ilp_sens * (1.0 - scale))
+        + job.br_mpki / 1000.0 * machine.branch_penalty_cycles
+        + job.cpi_short
+    )
+
+
+def _effective_mlp(job: JobTypeParams, window: float) -> float:
+    """Memory-level parallelism achievable with a window of given size."""
+    return 1.0 + (job.mlp - 1.0) * job.window_scaling(window)
+
+
+def evaluate_smt(
+    machine: MachineConfig,
+    jobs: Sequence[JobTypeParams],
+    ipcs: Sequence[float],
+    shares: Sequence[float],
+) -> SmtEvaluation:
+    """Evaluate the contention equations once at the given estimates."""
+    n = len(jobs)
+    if n == 0:
+        raise ValueError("need at least one job")
+    if len(ipcs) != n or len(shares) != n:
+        raise ValueError("state length mismatch with job count")
+
+    mpkis = [job.llc_mpki(share) for job, share in zip(jobs, shares)]
+
+    miss_rate = sum(i * m for i, m in zip(ipcs, mpkis)) / 1000.0
+    latency = machine.mem_latency_cycles + bus_queueing_delay(
+        miss_rate,
+        machine.bus_service_cycles,
+        max_utilization=machine.bus_max_utilization,
+    )
+    utilization = bus_utilization(
+        miss_rate,
+        machine.bus_service_cycles,
+        max_utilization=machine.bus_max_utilization,
+    )
+
+    # Pass A: provisional stall fractions with full windows, used only to
+    # drive the ROB partitioning.
+    provisional_stalls = []
+    for job, mpki in zip(jobs, mpkis):
+        cpi_core = _core_cpi(job, machine, float(machine.rob_size))
+        t_mem = mpki / 1000.0 * latency / job.mlp
+        provisional_stalls.append(t_mem / (cpi_core + t_mem))
+
+    windows = window_shares(
+        jobs,
+        provisional_stalls,
+        machine.rob_size,
+        machine.rob_policy,
+        machine.fetch_policy,
+    )
+
+    # Pass B: final per-thread timing with the allocated windows.  The
+    # stall/active fractions are evaluated at the *state* IPCs so that,
+    # at the fixed point, they reflect the width-squeezed schedule (a
+    # thread slowed by slot competition is active a larger fraction of
+    # the time) rather than the unconstrained demand.
+    smt_factor = 1.0 + machine.smt_overhead * (n - 1)
+    t_execs: list[float] = []
+    t_mems: list[float] = []
+    stall_fractions: list[float] = []
+    activities: list[float] = []
+    for job, mpki, window, state_ipc in zip(jobs, mpkis, windows, ipcs):
+        t_exec = _core_cpi(job, machine, window) * smt_factor
+        t_mem = mpki / 1000.0 * latency / _effective_mlp(job, window)
+        t_execs.append(t_exec)
+        t_mems.append(t_mem)
+        stall = min(0.99, max(0.0, t_mem * state_ipc))
+        stall_fractions.append(stall)
+        activities.append(1.0 - stall)
+
+    weights = rival_weights(
+        machine.fetch_policy,
+        activities,
+        strength=machine.icount_strength,
+        rr_slot_waste=machine.rr_slot_waste,
+    )
+
+    # Mean-field dispatch-slot competition with front-end fragmentation.
+    expected_active = sum(activities)
+    eta = 1.0 / (
+        1.0 + machine.smt_fragmentation * max(0.0, expected_active - 1.0)
+    )
+    allocation: list[float] = []
+    for i in range(n):
+        rivals = sum(weights[j] for j in range(n) if j != i)
+        share = eta * machine.width / (1.0 + rivals)
+        active_rate = min(1.0 / t_execs[i], share)
+        cpi = 1.0 / active_rate + t_mems[i]
+        allocation.append(1.0 / cpi)
+
+    pressures = [a * m / 1000.0 for a, m in zip(allocation, mpkis)]
+    next_shares = cache_shares(
+        pressures,
+        machine.llc_mb,
+        floor_fraction=machine.cache_share_floor,
+    )
+
+    return SmtEvaluation(
+        next_ipcs=tuple(allocation),
+        next_shares=tuple(next_shares),
+        mpkis=tuple(mpkis),
+        windows=tuple(windows),
+        stall_fractions=tuple(stall_fractions),
+        memory_latency=latency,
+        bus_utilization=utilization,
+    )
+
+
+def smt_iteration(machine: MachineConfig, jobs: Sequence[JobTypeParams]):
+    """Fixed-point map over the state vector ``[ipc_1..n, share_1..n]``."""
+    n = len(jobs)
+
+    def iterate(state: Sequence[float]) -> list[float]:
+        evaluation = evaluate_smt(machine, jobs, state[:n], state[n:])
+        return list(evaluation.next_ipcs) + list(evaluation.next_shares)
+
+    return iterate

@@ -1,0 +1,119 @@
+"""On-disk persistence of simulated rate tables.
+
+A full sweep (all 1,819 multisets of the 12 types on one machine) takes
+tens of seconds of simulation; persisting the result lets analyses and
+CI re-run instantly and makes the simulated dataset a shareable
+artifact — the analogue of publishing the paper's Sniper numbers.
+
+The format is plain JSON with a metadata header (machine configuration
+fingerprint), per-coschedule raw IPCs, and WIPC type rates.  Loading
+returns a frozen :class:`~repro.microarch.rates.TableRates` plus the
+metadata; a fingerprint mismatch is reported rather than silently
+accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.microarch.config import MachineConfig
+from repro.microarch.rates import RateTable, TableRates, canonical_coschedule
+
+__all__ = ["save_rates", "load_rates", "machine_fingerprint"]
+
+_FORMAT_VERSION = 1
+
+
+def machine_fingerprint(machine: MachineConfig) -> dict:
+    """A JSON-safe dictionary identifying a machine configuration."""
+    payload = asdict(machine)
+    payload["fetch_policy"] = machine.fetch_policy.value
+    payload["rob_policy"] = machine.rob_policy.value
+    return payload
+
+
+def save_rates(
+    rates: RateTable,
+    path: str | Path,
+    *,
+    coschedules: Iterable[Sequence[str]] | None = None,
+) -> int:
+    """Write a rate table to ``path``; returns the entry count.
+
+    Args:
+        rates: the simulating table.
+        path: output file.
+        coschedules: which coschedules to persist; defaults to every
+            multiset of all roster types and sizes 1..K (the full
+            sweep, simulated on demand).
+    """
+    if coschedules is None:
+        rates.precompute()
+        from repro.util.multiset import multisets
+
+        keys: list[tuple[str, ...]] = []
+        for size in range(1, rates.machine.contexts + 1):
+            keys.extend(multisets(sorted(rates.roster), size))
+    else:
+        keys = [canonical_coschedule(c) for c in coschedules]
+
+    entries = {}
+    for key in keys:
+        result = rates.result(key)
+        entries["|".join(key)] = {
+            "ipcs": list(result.ipcs),
+            "type_rates": rates.type_rates(key),
+        }
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "machine": machine_fingerprint(rates.machine),
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return len(entries)
+
+
+def load_rates(
+    path: str | Path,
+    *,
+    expect_machine: MachineConfig | None = None,
+) -> tuple[TableRates, dict]:
+    """Load a persisted rate table; returns (rates, machine metadata).
+
+    Args:
+        path: file written by :func:`save_rates`.
+        expect_machine: when given, the stored fingerprint must match
+            this configuration exactly.
+
+    Raises:
+        ConfigurationError: on version or fingerprint mismatch.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"rate-table format version {version!r} unsupported "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    metadata = payload.get("machine", {})
+    if expect_machine is not None:
+        expected = machine_fingerprint(expect_machine)
+        if metadata != expected:
+            mismatched = sorted(
+                key
+                for key in set(metadata) | set(expected)
+                if metadata.get(key) != expected.get(key)
+            )
+            raise ConfigurationError(
+                f"stored rates were produced on a different machine "
+                f"configuration (fields differing: {mismatched})"
+            )
+    table = {
+        tuple(key.split("|")): entry["type_rates"]
+        for key, entry in payload.get("entries", {}).items()
+    }
+    return TableRates(table), metadata

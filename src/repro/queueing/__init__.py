@@ -1,0 +1,69 @@
+"""Queueing substrate: the Section-VI latency and saturation experiments.
+
+The paper complements its analytic maximum-throughput results with a
+simulated system where jobs arrive as a Poisson process, queue when all
+K contexts are busy, and are (re)scheduled by one of four policies:
+
+* **FCFS** — run jobs strictly in arrival order (needs no knowledge);
+* **MAXIT** — among the jobs present, run the combination with the
+  highest instantaneous throughput (oldest jobs break ties);
+* **SRPT** — run the combination with the smallest sum of remaining
+  execution times (taking each job's rate in that combination into
+  account);
+* **MAXTP** — follow the LP-optimal coschedule fractions of Section IV
+  (offline phase), falling back to MAXIT when no optimal coschedule can
+  be formed from the jobs present.
+
+:mod:`repro.queueing.engine` is a rate-based discrete-event loop (job
+progress rates change whenever the co-running set changes);
+:mod:`repro.queueing.experiment` packages the latency experiment
+(Figure 5), the saturation experiment (Figure 6), and their metrics
+(turnaround time, processor utilization, empty fraction);
+:mod:`repro.queueing.mmk` provides the M/M/K analytics behind Figure 4.
+"""
+
+from repro.queueing.job import Job
+from repro.queueing.system import SystemMetrics
+from repro.queueing.engine import run_system
+from repro.queueing.arrivals import poisson_arrivals, saturated_arrivals
+from repro.queueing.schedulers import (
+    FcfsScheduler,
+    LongJobFirstScheduler,
+    MaxItScheduler,
+    MaxTpScheduler,
+    RandomScheduler,
+    Scheduler,
+    SrptScheduler,
+    make_scheduler,
+)
+from repro.queueing.experiment import (
+    LatencyResult,
+    SaturationResult,
+    run_latency_experiment,
+    run_saturation_experiment,
+)
+from repro.queueing.makespan import MakespanResult, run_makespan_experiment
+from repro.queueing.mmk import MMKQueue
+
+__all__ = [
+    "Job",
+    "SystemMetrics",
+    "run_system",
+    "poisson_arrivals",
+    "saturated_arrivals",
+    "Scheduler",
+    "FcfsScheduler",
+    "MaxItScheduler",
+    "SrptScheduler",
+    "MaxTpScheduler",
+    "LongJobFirstScheduler",
+    "RandomScheduler",
+    "make_scheduler",
+    "LatencyResult",
+    "SaturationResult",
+    "run_latency_experiment",
+    "run_saturation_experiment",
+    "MakespanResult",
+    "run_makespan_experiment",
+    "MMKQueue",
+]

@@ -1,0 +1,92 @@
+"""Arrival processes for the queueing experiments.
+
+The paper (following Snavely et al.) assumes exponentially distributed
+job inter-arrival times and job sizes.  :func:`poisson_arrivals`
+generates exactly that; :func:`saturated_arrivals` front-loads every job
+at time zero, which turns the latency experiment into the
+maximum-throughput experiment of Figure 6 (the machine never starves).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.errors import SimulationError
+from repro.queueing.job import Job
+from repro.util.rng import make_rng
+
+__all__ = ["poisson_arrivals", "saturated_arrivals"]
+
+
+def _job_size(rng: random.Random, mean_size: float, fixed: bool) -> float:
+    if fixed:
+        return mean_size
+    return rng.expovariate(1.0 / mean_size)
+
+
+def poisson_arrivals(
+    types: Sequence[str],
+    *,
+    rate: float,
+    n_jobs: int,
+    mean_size: float = 1.0,
+    fixed_sizes: bool = False,
+    seed: int | random.Random = 0,
+) -> Iterator[Job]:
+    """Poisson arrivals with uniformly random types.
+
+    Args:
+        types: equiprobable job types.
+        rate: arrival rate in jobs per unit time.
+        n_jobs: number of jobs to generate.
+        mean_size: mean job size (work units).
+        fixed_sizes: use constant ``mean_size`` instead of exponential.
+        seed: RNG seed or generator.
+
+    Yields:
+        :class:`~repro.queueing.job.Job` objects in arrival order.
+    """
+    if rate <= 0.0:
+        raise SimulationError(f"arrival rate must be positive, got {rate}")
+    if n_jobs < 0:
+        raise SimulationError(f"n_jobs must be >= 0, got {n_jobs}")
+    if not types:
+        raise SimulationError("need at least one job type")
+    rng = make_rng(seed)
+    clock = 0.0
+    for job_id in range(n_jobs):
+        clock += rng.expovariate(rate)
+        yield Job(
+            job_id=job_id,
+            job_type=rng.choice(list(types)),
+            size=_job_size(rng, mean_size, fixed_sizes),
+            arrival_time=clock,
+        )
+
+
+def saturated_arrivals(
+    types: Sequence[str],
+    *,
+    n_jobs: int,
+    mean_size: float = 1.0,
+    fixed_sizes: bool = False,
+    seed: int | random.Random = 0,
+) -> Iterator[Job]:
+    """All jobs available at time zero: the maximum-throughput workload.
+
+    Equivalent to an arrival rate far above the service rate, as in the
+    paper's Figure-6 experiment ("arrival rate > maximum throughput").
+    """
+    if n_jobs < 0:
+        raise SimulationError(f"n_jobs must be >= 0, got {n_jobs}")
+    if not types:
+        raise SimulationError("need at least one job type")
+    rng = make_rng(seed)
+    for job_id in range(n_jobs):
+        yield Job(
+            job_id=job_id,
+            job_type=rng.choice(list(types)),
+            size=_job_size(rng, mean_size, fixed_sizes),
+            arrival_time=0.0,
+        )

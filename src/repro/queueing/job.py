@@ -1,0 +1,60 @@
+"""Job instances flowing through the queueing system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["Job"]
+
+
+@dataclass
+class Job:
+    """One job: a type, a size in work units, and its lifecycle times.
+
+    Sizes are in units of *weighted work*: a job of size 1.0 takes 1.0
+    time units when running alone on the reference machine (WIPC = 1).
+
+    Attributes:
+        job_id: unique, monotonically increasing identifier (used for
+            deterministic tie-breaking: smaller id = older job).
+        job_type: the job's type name.
+        size: total work.
+        arrival_time: when the job entered the system.
+        remaining: work still to execute.
+        completion_time: set when the job finishes.
+    """
+
+    job_id: int
+    job_type: str
+    size: float
+    arrival_time: float
+    remaining: float = field(default=-1.0)
+    completion_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0.0:
+            raise SimulationError(
+                f"job {self.job_id} has non-positive size {self.size}"
+            )
+        if self.remaining < 0.0:
+            self.remaining = self.size
+
+    @property
+    def done(self) -> bool:
+        """True once all work is executed."""
+        return self.remaining <= 1e-12
+
+    @property
+    def turnaround(self) -> float:
+        """Completion minus arrival; only valid for finished jobs."""
+        if self.completion_time is None:
+            raise SimulationError(f"job {self.job_id} has not completed")
+        return self.completion_time - self.arrival_time
+
+    def progress(self, amount: float) -> None:
+        """Execute ``amount`` units of work (clamped at zero remaining)."""
+        if amount < -1e-12:
+            raise SimulationError(f"negative progress {amount}")
+        self.remaining = max(0.0, self.remaining - amount)

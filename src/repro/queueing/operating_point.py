@@ -1,0 +1,130 @@
+"""Operating-point classification on the Figure-4 curve.
+
+The paper walks through four regimes of the turnaround-vs-arrival-rate
+curve:
+
+* **A** — arrivals so sparse that jobs almost always find an empty
+  machine: turnaround is just the isolated service time; scheduling is
+  irrelevant (no choices to make).
+* **B** — several jobs overlap but the queue is usually empty:
+  turnaround grows only through co-run interference; the coschedules
+  are dictated by arrival timing, not the scheduler.
+* **C** — the machine is mostly full and some jobs queue: the
+  interesting regime, where a symbiotic scheduler has queued jobs to
+  choose from (the paper's and Snavely's experiments sit here, with
+  roughly twice as many jobs as contexts).
+* **D** — arrivals close to the maximum service rate: turnaround
+  explodes; operating here is avoided in practice.
+
+:func:`classify_operating_point` maps an (arrival rate, capacity)
+pair onto these regimes using M/M/K occupancy statistics, and
+:func:`operating_report` summarizes the relevant quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.queueing.mmk import MMKQueue
+
+__all__ = ["OperatingPoint", "classify_operating_point", "operating_report"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A classified operating point on the Figure-4 curve.
+
+    Attributes:
+        region: "A", "B", "C", or "D".
+        utilization: offered load per context (rho).
+        mean_jobs_in_system: M/M/K L.
+        wait_probability: Erlang-C probability an arrival queues.
+        scheduler_leverage: a qualitative flag — True when a symbiotic
+            scheduler has meaningful choices (region C; the paper's
+            experiments target ~2x jobs per context).
+    """
+
+    region: str
+    utilization: float
+    mean_jobs_in_system: float
+    wait_probability: float
+
+    @property
+    def scheduler_leverage(self) -> bool:
+        """True in the regime where job selection matters (region C)."""
+        return self.region == "C"
+
+
+def classify_operating_point(
+    arrival_rate: float,
+    service_rate_per_context: float,
+    contexts: int,
+    *,
+    sparse_threshold: float = 0.10,
+    queueing_threshold: float = 0.25,
+    saturation_threshold: float = 0.97,
+) -> OperatingPoint:
+    """Classify a load level into the paper's A/B/C/D regimes.
+
+    Thresholds (overridable):
+
+    * region A: utilization below ``sparse_threshold``;
+    * region B: Erlang-C wait probability below ``queueing_threshold``;
+    * region D: utilization at or above ``saturation_threshold`` (or an
+      unstable queue);
+    * region C: everything between.
+    """
+    if contexts <= 0:
+        raise ConfigurationError("contexts must be positive")
+    queue = MMKQueue(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate_per_context,
+        servers=contexts,
+    )
+    if not queue.is_stable:
+        return OperatingPoint(
+            region="D",
+            utilization=queue.utilization,
+            mean_jobs_in_system=float("inf"),
+            wait_probability=1.0,
+        )
+    utilization = queue.utilization
+    wait_probability = queue.erlang_c
+    if utilization < sparse_threshold:
+        region = "A"
+    elif utilization >= saturation_threshold:
+        region = "D"
+    elif wait_probability < queueing_threshold:
+        region = "B"
+    else:
+        region = "C"
+    return OperatingPoint(
+        region=region,
+        utilization=utilization,
+        mean_jobs_in_system=queue.mean_jobs_in_system,
+        wait_probability=wait_probability,
+    )
+
+
+def operating_report(
+    capacity: float,
+    contexts: int,
+    loads: list[float],
+) -> list[tuple[float, OperatingPoint]]:
+    """Classify a sweep of load levels against a machine capacity.
+
+    Args:
+        capacity: maximum throughput of the whole machine (jobs of unit
+            work per unit time).
+        contexts: number of contexts K.
+        loads: load levels as fractions of capacity.
+    """
+    per_context = capacity / contexts
+    return [
+        (
+            load,
+            classify_operating_point(load * capacity, per_context, contexts),
+        )
+        for load in loads
+    ]

@@ -1,0 +1,113 @@
+"""System-level metrics accounting for the queueing experiments.
+
+The paper argues (Section VI) that turnaround time alone is misleading
+and that **processor utilization** and the **empty fraction** are the
+honest indicators of a throughput improvement in a non-saturated
+system.  :class:`SystemMetrics` accumulates all three, plus the achieved
+throughput and per-coschedule time, over a simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["SystemMetrics"]
+
+
+@dataclass
+class SystemMetrics:
+    """Accumulated observations of one simulation run.
+
+    All time integrals start after the configured warm-up.  Attributes:
+
+    Attributes:
+        measured_time: total observed (post-warm-up) time.
+        busy_context_time: integral of the number of running jobs over
+            time; divided by ``measured_time`` this is the paper's
+            *processor utilization* (average busy contexts, up to K).
+        empty_time: time with **no jobs in the system** (the paper's
+            *processor empty fraction* denominator is total time).
+        work_done: weighted work executed.
+        completed: number of jobs that finished inside the window.
+        turnaround_sum: sum of turnaround times of those jobs.
+        time_by_coschedule: time spent per running type-multiset.
+    """
+
+    measured_time: float = 0.0
+    busy_context_time: float = 0.0
+    empty_time: float = 0.0
+    work_done: float = 0.0
+    completed: int = 0
+    turnaround_sum: float = 0.0
+    time_by_coschedule: dict[tuple[str, ...], float] = field(
+        default_factory=dict
+    )
+
+    def observe_interval(
+        self,
+        dt: float,
+        running_types: tuple[str, ...],
+        jobs_in_system: int,
+        work: float,
+    ) -> None:
+        """Account one inter-event interval."""
+        if dt < 0.0:
+            raise SimulationError(f"negative interval {dt}")
+        if dt == 0.0:
+            return
+        self.measured_time += dt
+        self.busy_context_time += len(running_types) * dt
+        if jobs_in_system == 0:
+            self.empty_time += dt
+        self.work_done += work
+        if running_types:
+            key = tuple(sorted(running_types))
+            self.time_by_coschedule[key] = (
+                self.time_by_coschedule.get(key, 0.0) + dt
+            )
+
+    def observe_completion(self, turnaround: float) -> None:
+        """Account one job completion."""
+        if turnaround < 0.0:
+            raise SimulationError(f"negative turnaround {turnaround}")
+        self.completed += 1
+        self.turnaround_sum += turnaround
+
+    @property
+    def mean_turnaround(self) -> float:
+        """Average turnaround of jobs completed in the window."""
+        if self.completed == 0:
+            raise SimulationError("no completions observed")
+        return self.turnaround_sum / self.completed
+
+    @property
+    def utilization(self) -> float:
+        """Average number of busy contexts (the paper's utilization)."""
+        if self.measured_time == 0.0:
+            raise SimulationError("no time observed")
+        return self.busy_context_time / self.measured_time
+
+    @property
+    def empty_fraction(self) -> float:
+        """Fraction of time the system held no jobs at all."""
+        if self.measured_time == 0.0:
+            raise SimulationError("no time observed")
+        return self.empty_time / self.measured_time
+
+    @property
+    def throughput(self) -> float:
+        """Weighted work executed per unit time."""
+        if self.measured_time == 0.0:
+            raise SimulationError("no time observed")
+        return self.work_done / self.measured_time
+
+    def coschedule_fractions(self) -> dict[tuple[str, ...], float]:
+        """Time fraction per coschedule over the measured window."""
+        if self.measured_time == 0.0:
+            raise SimulationError("no time observed")
+        return {
+            s: t / self.measured_time
+            for s, t in self.time_by_coschedule.items()
+        }

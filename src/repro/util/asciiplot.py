@@ -1,0 +1,128 @@
+"""Terminal-friendly plots for the experiment drivers.
+
+The library has no plotting dependency, so the figure drivers render
+their series as monospace scatter plots and bar charts.  These are
+deliberately simple: fixed-size character grids, linear axes, one
+glyph per series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["scatter", "hbar"]
+
+
+def _axis_bounds(values: Sequence[float]) -> tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 18,
+    marker: str = "o",
+    x_label: str = "x",
+    y_label: str = "y",
+    extra: Mapping[str, tuple[Sequence[float], Sequence[float]]] | None = None,
+) -> str:
+    """Render an ASCII scatter plot.
+
+    Args:
+        xs, ys: the primary series.
+        width, height: plot-area size in characters.
+        marker: glyph for the primary series.
+        x_label, y_label: axis captions.
+        extra: optional named series ``{glyph: (xs, ys)}`` drawn over
+            the same axes (later series overwrite earlier glyphs).
+
+    Returns:
+        A multi-line string.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if not xs:
+        raise ValueError("cannot plot an empty series")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    all_x = list(xs)
+    all_y = list(ys)
+    series: list[tuple[str, Sequence[float], Sequence[float]]] = [
+        (marker, xs, ys)
+    ]
+    for glyph, (sx, sy) in (extra or {}).items():
+        if len(sx) != len(sy):
+            raise ValueError(f"length mismatch in series {glyph!r}")
+        series.append((glyph, sx, sy))
+        all_x.extend(sx)
+        all_y.extend(sy)
+
+    x_lo, x_hi = _axis_bounds(all_x)
+    y_lo, y_hi = _axis_bounds(all_y)
+    grid = [[" "] * width for _ in range(height)]
+
+    for glyph, sx, sy in series:
+        for x, y in zip(sx, sy):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph[0]
+
+    lines = [f"{y_hi:10.3g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 11 + f"{x_lo:<10.3g}" + x_label.center(width - 20)
+        + f"{x_hi:>10.3g}"
+    )
+    return f"{y_label}\n" + "\n".join(lines)
+
+
+def hbar(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 48,
+    fill: str = "#",
+    zero: float = 0.0,
+) -> str:
+    """Render a horizontal bar chart (supports negative bars).
+
+    Args:
+        labels: one label per bar.
+        values: bar lengths (relative to ``zero``).
+        width: total character width of the bar area.
+        fill: bar glyph.
+        zero: the baseline value.
+
+    Returns:
+        A multi-line string, one bar per line, with the numeric value
+        appended.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"length mismatch: {len(labels)} vs {len(values)}")
+    if not labels:
+        raise ValueError("cannot plot an empty chart")
+    label_width = max(len(label) for label in labels)
+    magnitude = max(abs(v - zero) for v in values) or 1.0
+    half = max(1, width // 2)
+
+    lines = []
+    for label, value in zip(labels, values):
+        length = round(abs(value - zero) / magnitude * half)
+        if value >= zero:
+            bar = " " * half + fill * length
+        else:
+            bar = " " * (half - length) + fill * length
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(2 * half)}| {value:+.3g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Damped fixed-point iteration driver.
+
+The microarchitectural contention models (shared cache shares, memory-bus
+utilization, SMT width shares) are coupled non-linear equations solved as
+a fixed point ``x = f(x)``.  This module provides a single, well-tested
+driver with under-relaxation so every model converges the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConvergenceError
+
+__all__ = ["FixedPointResult", "solve_fixed_point"]
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a fixed-point solve.
+
+    Attributes:
+        value: the converged state vector.
+        iterations: number of iterations performed.
+        residual: final max-norm difference between successive iterates.
+    """
+
+    value: tuple[float, ...]
+    iterations: int
+    residual: float
+
+
+def solve_fixed_point(
+    func: Callable[[Sequence[float]], Sequence[float]],
+    start: Sequence[float],
+    *,
+    damping: float = 0.5,
+    tolerance: float = 1e-9,
+    max_iterations: int = 500,
+) -> FixedPointResult:
+    """Solve ``x = func(x)`` by damped (under-relaxed) iteration.
+
+    The update is ``x <- (1 - damping) * x + damping * func(x)``; the
+    relative max-norm of the raw update is used as the convergence
+    criterion, so the result is insensitive to the damping factor.
+
+    Args:
+        func: the fixed-point map; must return a sequence of the same
+            length as its input.
+        start: initial iterate.
+        damping: fraction of the new iterate blended in each step,
+            in (0, 1].
+        tolerance: relative max-norm convergence threshold.
+        max_iterations: iteration budget before ConvergenceError.
+
+    Raises:
+        ConvergenceError: if the iteration does not converge.
+        ValueError: if damping is outside (0, 1] or start is empty.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must be in (0, 1], got {damping}")
+    x = [float(v) for v in start]
+    if not x:
+        raise ValueError("start vector must be non-empty")
+
+    residual = float("inf")
+    for iteration in range(1, max_iterations + 1):
+        fx = [float(v) for v in func(x)]
+        if len(fx) != len(x):
+            raise ValueError(
+                f"fixed-point map changed dimension: {len(x)} -> {len(fx)}"
+            )
+        residual = max(
+            abs(new - old) / max(1.0, abs(old)) for new, old in zip(fx, x)
+        )
+        x = [
+            (1.0 - damping) * old + damping * new for new, old in zip(fx, x)
+        ]
+        if residual <= tolerance:
+            return FixedPointResult(
+                value=tuple(x), iterations=iteration, residual=residual
+            )
+    raise ConvergenceError(
+        f"fixed point did not converge in {max_iterations} iterations "
+        f"(residual {residual:.3e}, tolerance {tolerance:.3e})"
+    )

@@ -1,0 +1,24 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library (arrival processes, job sizes,
+workload sampling) takes an explicit seed or an already-constructed
+generator, so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random`` from a seed, generator, or None.
+
+    Passing an existing generator returns it unchanged (so composite
+    experiments can share one stream); passing ``None`` creates an
+    unseeded generator, which callers should only do in exploratory code.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

@@ -1,0 +1,99 @@
+"""Small statistics helpers used throughout the analysis modules.
+
+The paper's headline numbers are all simple summary statistics: the
+*variability* (max minus min divided by average) of per-job IPC and
+throughput, the slope of the FCFS-vs-optimal scatter (Figure 2), and the
+correlation between the linear-bottleneck error and throughput
+variability (Figure 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "spread",
+    "pearson",
+    "slope_through_origin",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / min / max / count summary of a sample."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / mean — the paper's *variability* measure."""
+        if self.mean == 0.0:
+            return 0.0
+        return (self.maximum - self.minimum) / self.mean
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summarize a non-empty sample of floats."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    total = float(sum(values))
+    return SummaryStats(
+        mean=total / len(values),
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        count=len(values),
+    )
+
+
+def spread(values: Sequence[float]) -> float:
+    """The paper's variability: (max - min) / mean of the sample."""
+    return summarize(values).spread
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Returns 0.0 when either sample has zero variance (a conservative
+    convention that keeps downstream shape checks simple).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ValueError("need at least two points for a correlation")
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx == 0.0 or syy == 0.0:
+        return 0.0
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    return sxy / math.sqrt(sxx * syy)
+
+
+def slope_through_origin(
+    xs: Sequence[float], ys: Sequence[float], *, origin: tuple[float, float] = (1.0, 1.0)
+) -> float:
+    """Least-squares slope of a line forced through ``origin``.
+
+    Figure 2 of the paper fits a line through (1, 1): a workload with no
+    scheduling headroom (optimal == worst) necessarily has FCFS == worst
+    as well, so the fitted trend is anchored there.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if not xs:
+        raise ValueError("need at least one point to fit a slope")
+    ox, oy = origin
+    num = sum((x - ox) * (y - oy) for x, y in zip(xs, ys))
+    den = sum((x - ox) ** 2 for x in xs)
+    if den == 0.0:
+        return 0.0
+    return num / den

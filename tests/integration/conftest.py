@@ -1,0 +1,18 @@
+"""Integration fixtures: a shared context over a small workload sample.
+
+Integration tests verify the *shape* of every paper artifact on a
+deterministic subsample of workloads — big enough for the orderings to
+be stable, small enough to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, default_context
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Context with a 40-workload deterministic sample."""
+    return default_context(max_workloads=40, seed=7)

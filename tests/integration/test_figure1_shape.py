@@ -1,0 +1,57 @@
+"""Figure-1 shape: the paper's headline variability ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import compute_figure1
+
+
+@pytest.fixture(scope="module")
+def bars(context):
+    smt, _ = compute_figure1(
+        context.smt_rates, context.workloads, config="smt"
+    )
+    quad, _ = compute_figure1(
+        context.quad_rates, context.workloads, config="quad"
+    )
+    return {"smt": smt, "quad": quad}
+
+
+class TestFigure1Shape:
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_average_tp_least_variable(self, bars, config):
+        """The core claim: average-throughput variability is far below
+        per-job and instantaneous-throughput variability."""
+        b = bars[config]
+        assert b.tp_spread < 0.5 * b.it_spread
+        assert b.tp_spread < 0.5 * b.job_spread
+
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_scheduler_ordering(self, bars, config):
+        """optimal >= FCFS >= worst on average and in the extremes."""
+        b = bars[config]
+        assert b.tp_avg_best >= -1e-9
+        assert b.tp_avg_worst <= 1e-9
+        assert b.tp_extreme_best >= b.tp_avg_best
+        assert b.tp_extreme_worst <= b.tp_avg_worst
+
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_optimal_gain_is_small(self, bars, config):
+        """The surprise of the paper: a few percent, not tens."""
+        assert bars[config].tp_avg_best < 0.10
+
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_job_and_it_variability_are_substantial(self, bars, config):
+        b = bars[config]
+        assert b.job_spread > 0.15
+        assert b.it_spread > 0.25
+
+    def test_worst_loses_more_than_optimal_gains_on_smt(self, bars):
+        """Paper: -9% worst vs +3% optimal on the SMT machine."""
+        b = bars["smt"]
+        assert abs(b.tp_avg_worst) > b.tp_avg_best
+
+    def test_quad_optimal_gain_at_least_smt(self, bars):
+        """Paper: 6% (quad) vs 3% (SMT)."""
+        assert bars["quad"].tp_avg_best >= bars["smt"].tp_avg_best

@@ -1,0 +1,40 @@
+"""Figure-2 shape: FCFS bridges most of the worst-to-best gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import compute_figure2
+
+
+@pytest.fixture(scope="module")
+def series(context):
+    return {
+        "smt": compute_figure2(
+            context.smt_rates, context.workloads, config="smt"
+        ),
+        "quad": compute_figure2(
+            context.quad_rates, context.workloads, config="quad"
+        ),
+    }
+
+
+class TestFigure2Shape:
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_points_inside_feasible_wedge(self, series, config):
+        """worst <= FCFS <= optimal for every workload."""
+        for p in series[config].points:
+            assert 1.0 - 1e-6 <= p.fcfs_vs_worst <= p.optimal_vs_worst + 1e-6
+
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_slope_below_one(self, series, config):
+        assert 0.2 < series[config].slope < 1.0
+
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_fcfs_bridges_majority_of_gap(self, series, config):
+        """Paper: 76% (SMT) and 63% (quad)."""
+        assert series[config].mean_bridged_fraction > 0.5
+
+    def test_smt_slope_exceeds_quad_slope(self, series):
+        """Paper: 0.73 vs 0.56."""
+        assert series["smt"].slope > series["quad"].slope

@@ -1,0 +1,56 @@
+"""Figure-3 shape: bottleneck error correlates with TP variability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure3 import compute_figure3
+
+
+@pytest.fixture(scope="module")
+def series(context):
+    return {
+        "smt": compute_figure3(
+            context.smt_rates, context.workloads, config="smt"
+        ),
+        "quad": compute_figure3(
+            context.quad_rates, context.workloads, config="quad"
+        ),
+    }
+
+
+class TestFigure3Shape:
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_positive_correlation(self, series, config):
+        """Workloads near a linear bottleneck have little headroom."""
+        assert series[config].correlation > 0.3
+
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_near_bottleneck_implies_low_variability(self, series, config):
+        """Every low-error workload must have a small optimal/worst gap;
+        the converse need not hold (the per-type rate-spread effect)."""
+        for p in series[config].points:
+            if p.bottleneck_error < 1e-4:
+                assert p.optimal_vs_worst < 1.10
+
+    @pytest.mark.parametrize("config", ["smt", "quad"])
+    def test_errors_nonnegative(self, series, config):
+        assert all(p.bottleneck_error >= 0.0 for p in series[config].points)
+
+    def test_off_trend_points_have_large_rate_spread(self, series):
+        """The paper's color story: workloads with large bottleneck
+        error but small TP variability show a big per-type performance
+        spread."""
+        points = series["smt"].points
+        errors = sorted(p.bottleneck_error for p in points)
+        median_error = errors[len(errors) // 2]
+        off_trend = [
+            p
+            for p in points
+            if p.bottleneck_error > median_error and p.optimal_vs_worst < 1.08
+        ]
+        if off_trend:  # sample-dependent; check when present
+            spreads = [p.rate_spread for p in points]
+            mean_spread = sum(spreads) / len(spreads)
+            off_mean = sum(p.rate_spread for p in off_trend) / len(off_trend)
+            assert off_mean > 0.8 * mean_spread

@@ -1,0 +1,58 @@
+"""Figure-5 shape: scheduler behaviour in the latency experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.figure5 import compute_figure5
+
+
+@pytest.fixture(scope="module")
+def cells(context):
+    workloads = sample_workloads(context.workloads, 6, seed=3)
+    results = compute_figure5(
+        context.smt_rates,
+        workloads,
+        loads=(0.8, 0.95),
+        n_jobs=4_000,
+        seed=1,
+    )
+    return {(c.scheduler, c.load): c for c in results}
+
+
+class TestFigure5Shape:
+    def test_srpt_wins_turnaround_at_moderate_load(self, cells):
+        """Paper: SRPT has the lowest turnaround at loads 0.8/0.9."""
+        srpt = cells[("srpt", 0.8)]
+        for other in ("fcfs", "maxit", "maxtp"):
+            assert srpt.mean_turnaround <= cells[(other, 0.8)].mean_turnaround
+
+    def test_symbiosis_schedulers_beat_fcfs_at_high_load(self, cells):
+        """Paper: at 0.95 load MAXTP cuts turnaround by ~23%."""
+        assert cells[("maxtp", 0.95)].turnaround_vs_fcfs < 0.95
+        assert cells[("srpt", 0.95)].turnaround_vs_fcfs < 1.0
+
+    def test_maxtp_has_lowest_utilization_at_high_load(self, cells):
+        """The paper's honest indicator of a throughput improvement."""
+        maxtp = cells[("maxtp", 0.95)]
+        for other in ("fcfs", "maxit", "srpt"):
+            assert maxtp.utilization <= cells[(other, 0.95)].utilization + 1e-9
+
+    def test_maxtp_has_highest_empty_fraction_at_high_load(self, cells):
+        maxtp = cells[("maxtp", 0.95)]
+        for other in ("fcfs", "maxit"):
+            assert (
+                maxtp.empty_fraction >= cells[(other, 0.95)].empty_fraction - 1e-9
+            )
+
+    def test_turnaround_grows_with_load(self, cells):
+        for name in ("fcfs", "maxit", "srpt", "maxtp"):
+            assert (
+                cells[(name, 0.95)].mean_turnaround
+                > cells[(name, 0.8)].mean_turnaround
+            )
+
+    def test_utilization_bounded_by_contexts(self, cells):
+        for cell in cells.values():
+            assert 0.0 < cell.utilization <= 4.0

@@ -1,0 +1,49 @@
+"""Figure-6 shape: achieved saturation throughput per scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.figure6 import compute_figure6
+
+
+@pytest.fixture(scope="module")
+def points(context):
+    workloads = sample_workloads(context.workloads, 8, seed=5)
+    return compute_figure6(
+        context.smt_rates, workloads, n_jobs=2_500, seed=2
+    )
+
+
+class TestFigure6Shape:
+    def test_maxtp_tracks_lp_maximum(self, points):
+        """Paper: MAXTP's throughput almost exactly matches the LP."""
+        for p in points:
+            assert p.maxtp_relative == pytest.approx(
+                p.lp_maximum_relative, abs=0.06
+            )
+
+    def test_maxtp_beats_fcfs_when_headroom_exists(self, points):
+        mean_maxtp = sum(p.maxtp_relative for p in points) / len(points)
+        assert mean_maxtp > 1.0
+
+    def test_srpt_matches_fcfs(self, points):
+        """Paper: SRPT has the same maximum throughput as FCFS."""
+        mean_srpt = sum(p.srpt_relative for p in points) / len(points)
+        assert mean_srpt == pytest.approx(1.0, abs=0.05)
+
+    def test_all_within_lp_bounds(self, points):
+        for p in points:
+            for rel in (p.maxit_relative, p.srpt_relative, p.maxtp_relative):
+                assert rel <= p.lp_maximum_relative + 0.03
+                assert rel >= p.lp_minimum_relative - 0.03
+
+    def test_fcfs_simulation_matches_analytic_model(self, points):
+        """The DES FCFS throughput agrees with the TPCalc-style chain."""
+        for p in points:
+            assert p.fcfs_analytic_relative == pytest.approx(1.0, abs=0.05)
+
+    def test_sorted_by_headroom(self, points):
+        headroom = [p.lp_maximum_relative for p in points]
+        assert headroom == sorted(headroom)

@@ -1,0 +1,59 @@
+"""Shapes of the extension experiments: makespan and unit-of-work."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.makespan_exp import compute_makespan
+from repro.experiments.units_exp import compute_units
+
+
+class TestMakespanShape:
+    @pytest.fixture(scope="class")
+    def cells(self, context):
+        workloads = sample_workloads(context.workloads, 5, seed=17)
+        return compute_makespan(
+            context.smt_rates,
+            workloads,
+            set_sizes=(8, 16),
+            seeds=(0, 1, 2),
+        )
+
+    def test_drain_dominates_small_sets(self, cells):
+        """The paper's Section-II point: small-set makespans include a
+        substantial idle-context drain."""
+        by_key = {(c.scheduler, c.n_jobs): c for c in cells}
+        assert by_key[("fcfs", 8)].mean_drain_fraction > 0.10
+        assert (
+            by_key[("fcfs", 8)].mean_drain_fraction
+            > by_key[("fcfs", 16)].mean_drain_fraction
+        )
+
+    def test_ljf_competitive_with_symbiosis_aware(self, cells):
+        """Xu et al.'s observation: symbiosis-unaware LJF keeps up with
+        MAXIT on small fixed job sets."""
+        by_key = {(c.scheduler, c.n_jobs): c for c in cells}
+        for n_jobs in (8, 16):
+            assert (
+                by_key[("ljf", n_jobs)].makespan_vs_fcfs
+                < by_key[("maxit", n_jobs)].makespan_vs_fcfs + 0.05
+            )
+
+    def test_srpt_bad_for_makespan(self, cells):
+        """SRPT optimizes turnaround by delaying long jobs — the wrong
+        move for makespan (it lengthens the drain)."""
+        by_key = {(c.scheduler, c.n_jobs): c for c in cells}
+        assert (
+            by_key[("srpt", 8)].mean_drain_fraction
+            >= by_key[("ljf", 8)].mean_drain_fraction
+        )
+
+
+class TestUnitsShape:
+    def test_conclusions_unit_independent(self, context):
+        workloads = sample_workloads(context.workloads, 8, seed=19)
+        comparisons = compute_units(context.smt_rates, workloads)
+        for c in comparisons:
+            assert 0.0 <= c.weighted_gain < 0.20
+            assert 0.0 <= c.instruction_gain < 0.20

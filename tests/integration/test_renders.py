@@ -1,0 +1,128 @@
+"""Every driver's render() must produce the paper-style report text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fairness_cf,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    makespan_exp,
+    ntypes,
+    table1,
+    table2,
+    units_exp,
+)
+from repro.experiments.common import sample_workloads
+
+
+@pytest.fixture(scope="module")
+def tiny(context):
+    """A 6-workload slice of the session context."""
+    workloads = sample_workloads(context.workloads, 6, seed=23)
+    return context, workloads
+
+
+class TestRenders:
+    def test_table1(self, tiny):
+        context, _ = tiny
+        text = table1.render(table1.compute_table1(context))
+        assert "benchmark" in text and "mcf" in text
+
+    def test_figure1_has_table_and_bars(self, tiny):
+        context, workloads = tiny
+        bars, _ = figure1.compute_figure1(
+            context.smt_rates, workloads, config="smt"
+        )
+        text = figure1.render([bars])
+        assert "average TP" in text
+        assert "#" in text  # bar chart present
+
+    def test_figure2_has_scatter(self, tiny):
+        context, workloads = tiny
+        series = figure2.compute_figure2(
+            context.smt_rates, workloads, config="smt"
+        )
+        text = figure2.render([series])
+        assert "slope" in text
+        assert "FCFS vs worst" in text  # scatter axis caption
+        assert "o" in text
+
+    def test_figure3(self, tiny):
+        context, workloads = tiny
+        series = figure3.compute_figure3(
+            context.smt_rates, workloads, config="smt"
+        )
+        text = figure3.render([series])
+        assert "corr" in text
+
+    def test_table2(self, tiny):
+        context, workloads = tiny
+        rows = table2.compute_table2(
+            context.smt_rates, workloads, config="smt"
+        )
+        text = table2.render(rows)
+        assert "heterogeneity" in text
+        assert "frac optimal" in text
+
+    def test_figure4(self):
+        text = figure4.render(
+            figure4.compute_example(), figure4.compute_curves(n_points=9)
+        )
+        assert "16% turnaround reduction" in text
+
+    def test_figure5(self, tiny):
+        context, workloads = tiny
+        cells = figure5.compute_figure5(
+            context.smt_rates,
+            workloads[:2],
+            loads=(0.8,),
+            n_jobs=1_500,
+        )
+        text = figure5.render(cells)
+        assert "turnaround" in text and "maxtp" in text
+
+    def test_figure6(self, tiny):
+        context, workloads = tiny
+        points = figure6.compute_figure6(
+            context.smt_rates, workloads[:2], n_jobs=1_200
+        )
+        text = figure6.render(points)
+        assert "LP max" in text and "means vs FCFS" in text
+
+    def test_ntypes(self, tiny):
+        context, _ = tiny
+        points = ntypes.compute_ntypes(
+            context.smt_rates, n_values=(2, 4), max_workloads_per_n=5
+        )
+        text = ntypes.render(points)
+        assert "mean optimal gain" in text
+
+    def test_fairness(self, tiny):
+        context, workloads = tiny
+        outcomes = fairness_cf.compute_fairness_cf(
+            context.smt_rates, workloads[:3]
+        )
+        text = fairness_cf.render(outcomes)
+        assert "hetero-coschedule time" in text
+
+    def test_makespan(self, tiny):
+        context, workloads = tiny
+        cells = makespan_exp.compute_makespan(
+            context.smt_rates, workloads[:2], set_sizes=(8,), seeds=(0,)
+        )
+        text = makespan_exp.render(cells)
+        assert "drain fraction" in text
+
+    def test_units(self, tiny):
+        context, workloads = tiny
+        comparisons = units_exp.compute_units(
+            context.smt_rates, workloads[:2]
+        )
+        text = units_exp.render(comparisons)
+        assert "unit-independent" in text or "weighted" in text

@@ -1,0 +1,38 @@
+"""Tests for the experiments CLI."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ARTIFACTS, main
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available artifacts" in capsys.readouterr().out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["bogus"]) == 2
+
+    def test_figure4_runs(self, capsys):
+        """figure4 is pure analytics — cheap enough to run end to end."""
+        assert main(["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "M/M/4 example" in out
+        assert "16%" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "libquantum" in out
+        assert "mcf" in out
+
+    def test_fairness_quick_run(self, capsys):
+        assert main(["fairness", "--max-workloads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "hetero-coschedule time" in out

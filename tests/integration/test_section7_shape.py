@@ -1,0 +1,48 @@
+"""Section-VII shape: the policy study's headline orderings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.experiments.section7 import compute_section7
+
+
+@pytest.fixture(scope="module")
+def summary():
+    workloads = [
+        Workload.of("bzip2", "hmmer", "libquantum", "mcf"),
+        Workload.of("calculix", "mcf", "sjeng", "xalancbmk"),
+        Workload.of("gcc.g23", "h264ref", "perlbench", "tonto"),
+        Workload.of("hmmer", "libquantum", "mcf", "xalancbmk"),
+        Workload.of("bzip2", "calculix", "gcc.cp-decl", "sjeng"),
+    ]
+    return compute_section7(workloads)
+
+
+class TestSection7Shape:
+    def test_icount_dynamic_wins_under_both_metrics(self, summary):
+        """Paper: ICOUNT+dynamic outperforms RR+static by 1.7% (FCFS)
+        and 1.5% (optimal metric)."""
+        assert summary.best_over_baseline_fcfs > 0.0
+        assert summary.best_over_baseline_optimal > 0.0
+
+    def test_gains_are_single_digit_percent(self, summary):
+        assert summary.best_over_baseline_fcfs < 0.10
+        assert summary.best_over_baseline_optimal < 0.10
+
+    def test_scheduling_gain_comparable_to_policy_gain(self, summary):
+        """Paper: intelligent scheduling on the baseline (+3.3%) is
+        worth at least as much as the policy upgrade (+1.7%)."""
+        assert summary.scheduling_gain_on_baseline > 0.0
+
+    def test_flip_fraction_is_a_minority(self, summary):
+        """Paper: ~10% of workloads flip their preferred policy."""
+        assert 0.0 <= summary.flip_fraction <= 0.5
+
+    def test_mean_ordering_metric_stable(self, summary):
+        """The winning policy is the same under both metrics."""
+        study = summary.study
+        best_fcfs = max(study.results, key=lambda r: r.mean_fcfs).label
+        best_opt = max(study.results, key=lambda r: r.mean_optimal).label
+        assert best_fcfs == best_opt == "icount+dynamic"

@@ -1,0 +1,24 @@
+"""The summary artifact must report sane headline numbers."""
+
+from __future__ import annotations
+
+from repro.experiments.summary import compute_summary, render
+
+
+class TestSummary:
+    def test_headline_shape(self, context):
+        numbers = compute_summary(context)
+        by_config = {n.config: n for n in numbers}
+        assert set(by_config) == {"smt", "quad"}
+        for n in numbers:
+            # The abstract's ordering: optimal gain << variability.
+            assert 0.0 <= n.optimal_gain < 0.3 * n.it_spread
+            assert n.worst_loss <= 0.0
+            assert 0.0 < n.slope < 1.0
+            assert 0.4 < n.bridged <= 1.0
+
+    def test_render_mentions_paper(self, context):
+        text = render(compute_summary(context))
+        assert "paper" in text
+        assert "optimal vs FCFS" in text
+        assert "Figure-2 slope" in text

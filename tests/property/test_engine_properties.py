@@ -1,0 +1,113 @@
+"""Property-based tests of the queueing engine.
+
+Random job streams on a synthetic rate table must conserve work, keep
+metrics inside physical bounds, and complete every job regardless of
+scheduler.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.workload import Workload
+from repro.microarch.rates import TableRates
+from repro.queueing.engine import run_system
+from repro.queueing.job import Job
+from repro.queueing.schedulers import make_scheduler
+from repro.util.multiset import multisets
+
+AB = Workload.of("A", "B")
+
+
+def unit_table() -> TableRates:
+    """Mildly asymmetric rates over sizes 1..2 of two types."""
+    table = {}
+    per_job = {"A": 1.0, "B": 0.6}
+    for size in (1, 2):
+        for cos in multisets(("A", "B"), size):
+            interference = 0.8 if len(set(cos)) == 1 and size == 2 else 1.0
+            table[cos] = {
+                b: per_job[b] * cos.count(b) * interference
+                for b in set(cos)
+            }
+    return TableRates(table)
+
+
+RATES = unit_table()
+
+job_streams = st.lists(
+    st.tuples(
+        st.sampled_from(("A", "B")),
+        st.floats(min_value=0.0, max_value=5.0),  # inter-arrival gap
+        st.floats(min_value=0.05, max_value=3.0),  # size
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+scheduler_names = st.sampled_from(("fcfs", "maxit", "srpt", "maxtp"))
+
+
+def build_jobs(stream) -> list[Job]:
+    jobs = []
+    clock = 0.0
+    for i, (job_type, gap, size) in enumerate(stream):
+        clock += gap
+        jobs.append(
+            Job(job_id=i, job_type=job_type, size=size, arrival_time=clock)
+        )
+    return jobs
+
+
+class TestEngineProperties:
+    @given(job_streams, scheduler_names)
+    @settings(max_examples=50, deadline=None)
+    def test_all_jobs_complete_and_work_conserved(self, stream, name):
+        jobs = build_jobs(stream)
+        total_work = sum(j.size for j in jobs)
+        scheduler = make_scheduler(name, RATES, 2, workload=AB)
+        metrics = run_system(RATES, scheduler, jobs)
+        assert metrics.completed == len(jobs)
+        assert metrics.work_done == pytest.approx(total_work, rel=1e-6)
+
+    @given(job_streams, scheduler_names)
+    @settings(max_examples=50, deadline=None)
+    def test_metrics_bounds(self, stream, name):
+        jobs = build_jobs(stream)
+        scheduler = make_scheduler(name, RATES, 2, workload=AB)
+        metrics = run_system(RATES, scheduler, jobs)
+        assert 0.0 <= metrics.utilization <= 2.0 + 1e-9
+        assert 0.0 <= metrics.empty_fraction <= 1.0 + 1e-9
+        fractions = metrics.coschedule_fractions()
+        assert sum(fractions.values()) <= 1.0 + 1e-9
+
+    @given(job_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_turnaround_at_least_ideal_service_time(self, stream):
+        """No job can finish faster than its size divided by its best
+        possible rate (1.0 for A, 0.6 for B)."""
+        jobs = build_jobs(stream)
+        best_rate = {"A": 1.0, "B": 0.6}
+        sizes = {j.job_id: (j.job_type, j.size) for j in jobs}
+        scheduler = make_scheduler("fcfs", RATES, 2)
+        run_system(RATES, scheduler, jobs)
+        for job in jobs:
+            job_type, size = sizes[job.job_id]
+            assert job.turnaround >= size / best_rate[job_type] - 1e-9
+
+    @given(job_streams, scheduler_names)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, stream, name):
+        a = run_system(
+            RATES,
+            make_scheduler(name, RATES, 2, workload=AB),
+            build_jobs(stream),
+        )
+        b = run_system(
+            RATES,
+            make_scheduler(name, RATES, 2, workload=AB),
+            build_jobs(stream),
+        )
+        assert a.work_done == pytest.approx(b.work_done)
+        assert a.measured_time == pytest.approx(b.measured_time)

@@ -1,0 +1,90 @@
+"""Property-based tests of the LP expression algebra.
+
+The modeling layer's arithmetic must behave like real linear algebra:
+evaluation is linear, addition commutes/associates, scalar
+multiplication distributes.  Random expressions over a fixed variable
+pool exercise this.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lp.model import LinearExpr, Model
+
+NAMES = ("x", "y", "z")
+
+scalars = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+assignments = st.fixed_dictionaries({name: scalars for name in NAMES})
+
+
+def fresh_variables():
+    model = Model()
+    return {name: model.add_variable(name) for name in NAMES}
+
+
+@st.composite
+def expressions(draw):
+    """A random affine expression over the shared variable pool."""
+    variables = fresh_variables()
+    coefficients = {
+        variables[name]: draw(scalars)
+        for name in draw(
+            st.lists(st.sampled_from(NAMES), unique=True, max_size=3)
+        )
+    }
+    return LinearExpr(coefficients, draw(scalars))
+
+
+class TestExpressionAlgebra:
+    @given(expressions(), expressions(), assignments)
+    def test_addition_is_pointwise(self, a, b, values):
+        combined = a + b
+        assert combined.evaluate(values) == pytest.approx(
+            a.evaluate(values) + b.evaluate(values), rel=1e-9, abs=1e-9
+        )
+
+    @given(expressions(), expressions(), assignments)
+    def test_subtraction_is_pointwise(self, a, b, values):
+        combined = a - b
+        assert combined.evaluate(values) == pytest.approx(
+            a.evaluate(values) - b.evaluate(values), rel=1e-9, abs=1e-9
+        )
+
+    @given(expressions(), scalars, assignments)
+    def test_scalar_multiplication(self, a, k, values):
+        scaled = k * a
+        assert scaled.evaluate(values) == pytest.approx(
+            k * a.evaluate(values), rel=1e-9, abs=1e-6
+        )
+
+    @given(expressions(), assignments)
+    def test_negation(self, a, values):
+        assert (-a).evaluate(values) == pytest.approx(
+            -a.evaluate(values), rel=1e-9, abs=1e-9
+        )
+
+    @given(expressions(), expressions(), assignments)
+    def test_addition_commutes(self, a, b, values):
+        assert (a + b).evaluate(values) == pytest.approx(
+            (b + a).evaluate(values), rel=1e-9, abs=1e-9
+        )
+
+    @given(expressions(), scalars, assignments)
+    def test_constant_shift(self, a, c, values):
+        assert (a + c).evaluate(values) == pytest.approx(
+            a.evaluate(values) + c, rel=1e-9, abs=1e-9
+        )
+
+    @given(expressions())
+    def test_copy_is_independent(self, a):
+        duplicate = a.copy()
+        duplicate.constant += 1.0
+        assert duplicate.constant != a.constant
+
+    @given(expressions(), assignments)
+    def test_zero_scale_collapses(self, a, values):
+        assert (0.0 * a).evaluate(values) == pytest.approx(0.0, abs=1e-12)

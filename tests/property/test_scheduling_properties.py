@@ -1,0 +1,122 @@
+"""Property-based tests of the core scheduling theory.
+
+Random rate tables exercise the Section-IV LP, the FCFS Markov model,
+and their relationships.  These are the library's deepest invariants:
+
+* the LP bounds hold for *any* scheduler satisfying the equal-work
+  constraint — in particular for FCFS;
+* the optimal support never exceeds the number of job types;
+* insensitive rates collapse the bounds to a single point.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fcfs import fcfs_throughput
+from repro.core.optimal import optimal_throughput, worst_throughput
+from repro.core.workload import Workload
+from repro.microarch.rates import TableRates
+from repro.util.multiset import multisets
+
+TYPES = ("A", "B", "C")
+
+
+@st.composite
+def random_rates(draw, n_types=2, contexts=2):
+    """A random positive rate table over all size-K coschedules."""
+    types = TYPES[:n_types]
+    rate = st.floats(
+        min_value=0.05, max_value=2.0, allow_nan=False, allow_infinity=False
+    )
+    table = {}
+    for cos in multisets(types, contexts):
+        present = sorted(set(cos))
+        table[cos] = {b: draw(rate) for b in present}
+    return TableRates(table), Workload.of(*types)
+
+
+class TestLpBounds:
+    @given(random_rates())
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_at_least_worst(self, case):
+        rates, workload = case
+        best = optimal_throughput(rates, workload, contexts=2)
+        worst = worst_throughput(rates, workload, contexts=2)
+        assert best.throughput >= worst.throughput - 1e-8
+
+    @given(random_rates())
+    @settings(max_examples=60, deadline=None)
+    def test_fcfs_within_lp_bounds(self, case):
+        """FCFS executes equal work per type in steady state, so its
+        throughput is a feasible point of the Section-IV program."""
+        rates, workload = case
+        fcfs = fcfs_throughput(rates, workload, contexts=2)
+        best = optimal_throughput(rates, workload, contexts=2)
+        worst = worst_throughput(rates, workload, contexts=2)
+        assert fcfs.throughput <= best.throughput + 1e-6
+        assert fcfs.throughput >= worst.throughput - 1e-6
+
+    @given(random_rates(n_types=3, contexts=3))
+    @settings(max_examples=25, deadline=None)
+    def test_three_type_bounds(self, case):
+        rates, workload = case
+        fcfs = fcfs_throughput(rates, workload, contexts=3)
+        best = optimal_throughput(rates, workload, contexts=3)
+        worst = worst_throughput(rates, workload, contexts=3)
+        assert worst.throughput - 1e-6 <= fcfs.throughput <= best.throughput + 1e-6
+
+    @given(random_rates())
+    @settings(max_examples=60, deadline=None)
+    def test_support_bound(self, case):
+        """A vertex optimum uses at most N coschedules."""
+        rates, workload = case
+        best = optimal_throughput(rates, workload, contexts=2)
+        assert best.support_size() <= workload.n_types
+
+    @given(random_rates())
+    @settings(max_examples=60, deadline=None)
+    def test_equal_work_constraint_holds(self, case):
+        rates, workload = case
+        best = optimal_throughput(rates, workload, contexts=2)
+        work = dict.fromkeys(workload.types, 0.0)
+        for cos, fraction in best.fractions.items():
+            for b, rate in rates.type_rates(cos).items():
+                work[b] += fraction * rate
+        values = list(work.values())
+        assert max(values) - min(values) < 1e-6 * max(values)
+
+    @given(random_rates())
+    @settings(max_examples=40, deadline=None)
+    def test_fractions_nonnegative_and_normalized(self, case):
+        rates, workload = case
+        for solve in (optimal_throughput, worst_throughput):
+            schedule = solve(rates, workload, contexts=2)
+            assert all(f >= -1e-12 for f in schedule.fractions.values())
+            assert sum(schedule.fractions.values()) == pytest.approx(1.0)
+
+
+class TestInsensitiveCollapse:
+    @given(
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_insensitive_rates_scheduler_independent(self, rate_a, rate_b):
+        """When per-job rates are coschedule-independent, optimal =
+        worst = FCFS (nothing to exploit)."""
+        table = {}
+        rates_by_type = {"A": rate_a, "B": rate_b}
+        for cos in multisets(("A", "B"), 2):
+            present = {}
+            for b in set(cos):
+                present[b] = rates_by_type[b] * cos.count(b)
+            table[cos] = present
+        rates = TableRates(table)
+        workload = Workload.of("A", "B")
+        best = optimal_throughput(rates, workload, contexts=2)
+        worst = worst_throughput(rates, workload, contexts=2)
+        fcfs = fcfs_throughput(rates, workload, contexts=2)
+        assert best.throughput == pytest.approx(worst.throughput, rel=1e-7)
+        assert fcfs.throughput == pytest.approx(best.throughput, rel=1e-6)

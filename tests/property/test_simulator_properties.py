@@ -1,0 +1,69 @@
+"""Property-based tests of the microarchitectural model.
+
+Random coschedules over the real roster must always satisfy the
+physical invariants: positive rates, no speedup from co-running, cache
+conservation, SMT width ceiling.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.microarch.benchmarks import BENCHMARK_NAMES, default_roster
+from repro.microarch.config import quad_core_machine, smt_machine
+from repro.microarch.simulator import simulate_coschedule
+
+ROSTER = default_roster()
+SMT = smt_machine()
+QUAD = quad_core_machine()
+
+coschedules = st.lists(
+    st.sampled_from(BENCHMARK_NAMES), min_size=1, max_size=4
+)
+
+
+class TestSimulatorProperties:
+    @given(coschedules)
+    @settings(max_examples=40, deadline=None)
+    def test_smt_invariants(self, names):
+        result = simulate_coschedule(SMT, ROSTER, names)
+        assert all(ipc > 0.0 for ipc in result.ipcs)
+        assert result.total_ipc <= SMT.width + 1e-9
+        assert sum(result.cache_mb) == pytest.approx(SMT.llc_mb, rel=1e-6)
+        assert 0.0 <= result.bus_utilization <= SMT.bus_max_utilization
+        assert result.memory_latency >= SMT.mem_latency_cycles - 1e-9
+
+    @given(coschedules)
+    @settings(max_examples=30, deadline=None)
+    def test_quad_invariants(self, names):
+        result = simulate_coschedule(QUAD, ROSTER, names)
+        assert all(0.0 < ipc <= QUAD.width for ipc in result.ipcs)
+        assert sum(result.cache_mb) == pytest.approx(QUAD.llc_mb, rel=1e-6)
+
+    @given(coschedules)
+    @settings(max_examples=25, deadline=None)
+    def test_no_speedup_from_co_running(self, names):
+        """Each job's IPC coscheduled never exceeds its IPC alone."""
+        result = simulate_coschedule(SMT, ROSTER, names)
+        for job, ipc in zip(result.job_names, result.ipcs):
+            alone = simulate_coschedule(SMT, ROSTER, (job,)).ipcs[0]
+            assert ipc <= alone * (1.0 + 1e-6)
+
+    @given(st.sampled_from(BENCHMARK_NAMES), st.sampled_from(BENCHMARK_NAMES))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_co_runner_never_helps(self, a, b):
+        """Monotonicity: a pair is never faster for either member than
+        running alone."""
+        pair = simulate_coschedule(SMT, ROSTER, (a, b))
+        alone_a = simulate_coschedule(SMT, ROSTER, (a,)).ipcs[0]
+        ipc_a = pair.ipc_of(a)[0]
+        assert ipc_a <= alone_a * (1.0 + 1e-6)
+
+    @given(coschedules)
+    @settings(max_examples=20, deadline=None)
+    def test_order_invariance(self, names):
+        shuffled = list(reversed(names))
+        a = simulate_coschedule(SMT, ROSTER, names)
+        b = simulate_coschedule(SMT, ROSTER, shuffled)
+        assert a.ipcs == b.ipcs

@@ -1,0 +1,75 @@
+"""Tests for the arrival processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.queueing.arrivals import poisson_arrivals, saturated_arrivals
+
+
+class TestPoissonArrivals:
+    def test_count_and_ordering(self):
+        jobs = list(
+            poisson_arrivals(("a", "b"), rate=2.0, n_jobs=100, seed=1)
+        )
+        assert len(jobs) == 100
+        times = [j.arrival_time for j in jobs]
+        assert times == sorted(times)
+        assert [j.job_id for j in jobs] == list(range(100))
+
+    def test_mean_rate(self):
+        jobs = list(
+            poisson_arrivals(("a",), rate=4.0, n_jobs=20_000, seed=2)
+        )
+        duration = jobs[-1].arrival_time
+        assert 20_000 / duration == pytest.approx(4.0, rel=0.05)
+
+    def test_types_roughly_uniform(self):
+        jobs = list(
+            poisson_arrivals(("a", "b"), rate=1.0, n_jobs=10_000, seed=3)
+        )
+        share_a = sum(1 for j in jobs if j.job_type == "a") / len(jobs)
+        assert share_a == pytest.approx(0.5, abs=0.03)
+
+    def test_exponential_sizes_mean(self):
+        jobs = list(
+            poisson_arrivals(
+                ("a",), rate=1.0, n_jobs=20_000, mean_size=2.0, seed=4
+            )
+        )
+        mean = sum(j.size for j in jobs) / len(jobs)
+        assert mean == pytest.approx(2.0, rel=0.05)
+
+    def test_fixed_sizes(self):
+        jobs = list(
+            poisson_arrivals(
+                ("a",), rate=1.0, n_jobs=50, mean_size=1.5,
+                fixed_sizes=True, seed=5,
+            )
+        )
+        assert all(j.size == 1.5 for j in jobs)
+
+    def test_deterministic(self):
+        a = [j.arrival_time for j in poisson_arrivals(("a",), rate=1.0, n_jobs=20, seed=9)]
+        b = [j.arrival_time for j in poisson_arrivals(("a",), rate=1.0, n_jobs=20, seed=9)]
+        assert a == b
+
+    def test_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            list(poisson_arrivals(("a",), rate=0.0, n_jobs=1))
+        with pytest.raises(SimulationError):
+            list(poisson_arrivals((), rate=1.0, n_jobs=1))
+        with pytest.raises(SimulationError):
+            list(poisson_arrivals(("a",), rate=1.0, n_jobs=-1))
+
+
+class TestSaturatedArrivals:
+    def test_all_at_time_zero(self):
+        jobs = list(saturated_arrivals(("a", "b"), n_jobs=50, seed=0))
+        assert len(jobs) == 50
+        assert all(j.arrival_time == 0.0 for j in jobs)
+
+    def test_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            list(saturated_arrivals((), n_jobs=5))

@@ -1,0 +1,79 @@
+"""Tests for the ASCII plot helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.asciiplot import hbar, scatter
+
+
+class TestScatter:
+    def test_contains_markers_and_labels(self):
+        text = scatter(
+            [1.0, 2.0, 3.0], [1.0, 4.0, 9.0], x_label="in", y_label="out"
+        )
+        assert "o" in text
+        assert "out" in text
+        assert "in" in text
+
+    def test_extra_series(self):
+        text = scatter(
+            [0.0, 1.0],
+            [0.0, 1.0],
+            extra={"x": ([0.5], [0.9])},
+        )
+        assert "x" in text
+        assert "o" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = scatter([1.0, 1.0], [2.0, 2.0])
+        assert "o" in text
+
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            scatter([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            scatter([], [])
+        with pytest.raises(ValueError):
+            scatter([1.0], [1.0], width=4)
+        with pytest.raises(ValueError):
+            scatter([1.0], [1.0], extra={"x": ([1.0], [])})
+
+    def test_grid_dimensions(self):
+        text = scatter([0, 1], [0, 1], width=30, height=10)
+        lines = text.splitlines()
+        # caption + height rows + x-axis line
+        assert len(lines) == 1 + 10 + 1
+
+    def test_corners_mapped_to_extremes(self):
+        text = scatter([0.0, 10.0], [0.0, 10.0], width=20, height=8)
+        lines = text.splitlines()
+        assert lines[1].rstrip().endswith("o")  # top-right point
+        assert "o" in lines[-2]  # bottom-left point
+
+
+class TestHbar:
+    def test_basic_bars(self):
+        text = hbar(["a", "bb"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_negative_bars_extend_left(self):
+        text = hbar(["pos", "neg"], [0.5, -0.5], width=20)
+        pos_line, neg_line = text.splitlines()
+        assert pos_line.index("#") > neg_line.index("#")
+
+    def test_values_annotated(self):
+        text = hbar(["x"], [0.123])
+        assert "+0.123" in text
+
+    def test_zero_baseline(self):
+        text = hbar(["a"], [5.0], zero=5.0)
+        assert "#" not in text
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            hbar(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            hbar([], [])

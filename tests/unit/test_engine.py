@@ -1,0 +1,165 @@
+"""Tests for the rate-based discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.errors import SimulationError
+from repro.microarch.rates import TableRates
+from repro.queueing.engine import run_system
+from repro.queueing.job import Job
+from repro.queueing.schedulers import FcfsScheduler
+
+AB = Workload.of("A", "B")
+
+
+@pytest.fixture()
+def unit_rates() -> TableRates:
+    """Every job progresses at rate 1 regardless of coschedule."""
+    return TableRates(
+        {
+            ("A",): {"A": 1.0},
+            ("B",): {"B": 1.0},
+            ("A", "A"): {"A": 2.0},
+            ("A", "B"): {"A": 1.0, "B": 1.0},
+            ("B", "B"): {"B": 2.0},
+        }
+    )
+
+
+def jobs_at(*specs) -> list[Job]:
+    """specs: (type, arrival, size)."""
+    return [
+        Job(job_id=i, job_type=t, size=s, arrival_time=a)
+        for i, (t, a, s) in enumerate(specs)
+    ]
+
+
+class TestEngineBasics:
+    def test_single_job(self, unit_rates):
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(("A", 0.0, 2.0)),
+        )
+        assert metrics.completed == 1
+        assert metrics.mean_turnaround == pytest.approx(2.0)
+        assert metrics.work_done == pytest.approx(2.0)
+
+    def test_two_jobs_parallel(self, unit_rates):
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(("A", 0.0, 1.0), ("B", 0.0, 2.0)),
+        )
+        assert metrics.completed == 2
+        assert metrics.measured_time == pytest.approx(2.0)
+        # Turnarounds: 1.0 and 2.0.
+        assert metrics.mean_turnaround == pytest.approx(1.5)
+
+    def test_queueing_delay(self, unit_rates):
+        """Third job waits for a context on a 2-context machine."""
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(("A", 0.0, 2.0), ("A", 0.0, 2.0), ("B", 0.0, 1.0)),
+        )
+        # B starts at t=2, finishes t=3: turnaround 3.
+        assert metrics.completed == 3
+        assert metrics.mean_turnaround == pytest.approx((2 + 2 + 3) / 3)
+
+    def test_idle_gap_counts_as_empty(self, unit_rates):
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(("A", 0.0, 1.0), ("A", 5.0, 1.0)),
+        )
+        assert metrics.empty_fraction == pytest.approx(4.0 / 6.0)
+        assert metrics.utilization == pytest.approx(2.0 / 6.0)
+
+    def test_work_conservation(self, unit_rates):
+        sizes = [0.5, 1.5, 2.0, 0.7]
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(*[("A", 0.0, s) for s in sizes]),
+        )
+        assert metrics.work_done == pytest.approx(sum(sizes))
+
+    def test_warmup_excludes_early_observations(self, unit_rates):
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(("A", 0.0, 1.0), ("A", 10.0, 1.0)),
+            warmup_time=5.0,
+        )
+        assert metrics.completed == 1  # only the second job counts
+        assert metrics.measured_time == pytest.approx(6.0)
+
+    def test_horizon_stops_early(self, unit_rates):
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(("A", 0.0, 100.0)),
+            horizon=5.0,
+        )
+        assert metrics.completed == 0
+        assert metrics.measured_time == pytest.approx(5.0)
+
+    def test_keep_in_system_caps_admission(self, unit_rates):
+        """With a backlog cap of 2, the metrics never see >2 jobs."""
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(*[("A", 0.0, 1.0) for _ in range(6)]),
+            keep_in_system=2,
+        )
+        assert metrics.completed == 6
+        assert metrics.utilization <= 2.0 + 1e-9
+
+    def test_stop_when_fewer_than(self, unit_rates):
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(*[("A", 0.0, 1.0) for _ in range(5)]),
+            stop_when_fewer_than=2,
+        )
+        # Stops before draining the final job alone.
+        assert metrics.completed == 4
+
+    def test_coschedule_times_recorded(self, unit_rates):
+        metrics = run_system(
+            unit_rates,
+            FcfsScheduler(unit_rates, 2),
+            jobs_at(("A", 0.0, 1.0), ("B", 0.0, 2.0)),
+        )
+        fractions = metrics.coschedule_fractions()
+        assert fractions[("A", "B")] == pytest.approx(0.5)
+        assert fractions[("B",)] == pytest.approx(0.5)
+
+    def test_out_of_order_arrivals_rejected(self, unit_rates):
+        stream = [
+            Job(job_id=0, job_type="A", size=1.0, arrival_time=5.0),
+            Job(job_id=1, job_type="A", size=1.0, arrival_time=1.0),
+        ]
+        with pytest.raises(SimulationError):
+            run_system(unit_rates, FcfsScheduler(unit_rates, 2), stream)
+
+    def test_zero_rate_rejected(self):
+        rates = TableRates({("A",): {"A": 0.0}})
+        with pytest.raises(SimulationError):
+            run_system(
+                rates,
+                FcfsScheduler(rates, 1),
+                jobs_at(("A", 0.0, 1.0)),
+            )
+
+    def test_event_budget_enforced(self, unit_rates):
+        with pytest.raises(SimulationError):
+            run_system(
+                unit_rates,
+                FcfsScheduler(unit_rates, 2),
+                jobs_at(*[("A", 0.0, 1.0) for _ in range(10)]),
+                max_events=2,
+            )

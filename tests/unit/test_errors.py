@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnboundedError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            ConvergenceError,
+            InfeasibleError,
+            ModelError,
+            SimulationError,
+            SolverError,
+            UnboundedError,
+            WorkloadError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_convergence_is_model_error(self):
+        assert issubclass(ConvergenceError, ModelError)
+
+    def test_lp_errors_are_solver_errors(self):
+        assert issubclass(InfeasibleError, SolverError)
+        assert issubclass(UnboundedError, SolverError)
+
+    def test_catchable_as_repro_error(self):
+        try:
+            raise WorkloadError("bad workload")
+        except ReproError as caught:
+            assert "bad workload" in str(caught)

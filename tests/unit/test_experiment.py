@@ -1,0 +1,94 @@
+"""Tests for the latency / saturation experiment wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fcfs import fcfs_throughput
+from repro.core.workload import Workload
+from repro.errors import WorkloadError
+from repro.microarch.rates import TableRates
+from repro.queueing.experiment import (
+    run_latency_experiment,
+    run_saturation_experiment,
+)
+
+AB = Workload.of("A", "B")
+
+
+@pytest.fixture()
+def rates() -> TableRates:
+    return TableRates(
+        {
+            ("A",): {"A": 1.0},
+            ("B",): {"B": 1.0},
+            ("A", "A"): {"A": 1.6},
+            ("A", "B"): {"A": 0.9, "B": 0.5},
+            ("B", "B"): {"B": 0.8},
+        }
+    )
+
+
+class TestLatencyExperiment:
+    def test_metrics_sane(self, rates):
+        result = run_latency_experiment(
+            rates, AB, "fcfs", load=0.8, n_jobs=3_000, seed=1, contexts=2
+        )
+        assert result.mean_turnaround > 0.0
+        assert 0.0 < result.utilization <= 2.0
+        assert 0.0 <= result.empty_fraction < 1.0
+        assert result.scheduler_name == "fcfs"
+        assert result.load == 0.8
+
+    def test_higher_load_increases_turnaround(self, rates):
+        low = run_latency_experiment(
+            rates, AB, "fcfs", load=0.5, n_jobs=4_000, seed=2, contexts=2
+        )
+        high = run_latency_experiment(
+            rates, AB, "fcfs", load=0.95, n_jobs=4_000, seed=2, contexts=2
+        )
+        assert high.mean_turnaround > low.mean_turnaround
+        assert high.empty_fraction < low.empty_fraction
+
+    def test_same_seed_same_arrivals(self, rates):
+        a = run_latency_experiment(
+            rates, AB, "fcfs", load=0.8, n_jobs=1_000, seed=3, contexts=2
+        )
+        b = run_latency_experiment(
+            rates, AB, "fcfs", load=0.8, n_jobs=1_000, seed=3, contexts=2
+        )
+        assert a.mean_turnaround == b.mean_turnaround
+
+    def test_bad_load_rejected(self, rates):
+        with pytest.raises(WorkloadError):
+            run_latency_experiment(
+                rates, AB, "fcfs", load=0.0, contexts=2
+            )
+
+    def test_contexts_required_for_frozen_rates(self, rates):
+        with pytest.raises(WorkloadError):
+            run_latency_experiment(rates, AB, "fcfs", load=0.5)
+
+
+class TestSaturationExperiment:
+    def test_fcfs_matches_analytic(self, rates):
+        result = run_saturation_experiment(
+            rates, AB, "fcfs", n_jobs=6_000, seed=4, contexts=2, backlog=8
+        )
+        analytic = fcfs_throughput(rates, AB, contexts=2).throughput
+        assert result.throughput == pytest.approx(analytic, rel=0.05)
+
+    def test_maxtp_beats_fcfs(self, rates):
+        fcfs = run_saturation_experiment(
+            rates, AB, "fcfs", n_jobs=6_000, seed=5, contexts=2, backlog=8
+        )
+        maxtp = run_saturation_experiment(
+            rates, AB, "maxtp", n_jobs=6_000, seed=5, contexts=2, backlog=8
+        )
+        assert maxtp.throughput >= fcfs.throughput * 0.999
+
+    def test_backlog_validation(self, rates):
+        with pytest.raises(WorkloadError):
+            run_saturation_experiment(
+                rates, AB, "fcfs", contexts=2, backlog=1
+            )

@@ -1,0 +1,79 @@
+"""Tests for the experiments-layer plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import Workload, all_workloads
+from repro.experiments.common import (
+    default_context,
+    format_table,
+    sample_workloads,
+)
+from repro.microarch.benchmarks import BENCHMARK_NAMES
+
+
+class TestSampleWorkloads:
+    def test_deterministic(self):
+        pool = all_workloads(BENCHMARK_NAMES, 4)
+        a = sample_workloads(pool, 10, seed=3)
+        b = sample_workloads(pool, 10, seed=3)
+        assert a == b
+
+    def test_seed_changes_sample(self):
+        pool = all_workloads(BENCHMARK_NAMES, 4)
+        a = sample_workloads(pool, 10, seed=3)
+        b = sample_workloads(pool, 10, seed=4)
+        assert a != b
+
+    def test_count_respected(self):
+        pool = all_workloads(BENCHMARK_NAMES, 4)
+        assert len(sample_workloads(pool, 7)) == 7
+
+    def test_oversample_returns_all(self):
+        pool = [Workload.of("a", "b"), Workload.of("a", "c")]
+        assert len(sample_workloads(pool, 10)) == 2
+
+    def test_no_duplicates(self):
+        pool = all_workloads(BENCHMARK_NAMES, 4)
+        sample = sample_workloads(pool, 50, seed=1)
+        assert len({w.types for w in sample}) == 50
+
+
+class TestDefaultContext:
+    def test_full_default(self):
+        context = default_context()
+        assert len(context.workloads) == 495
+        assert context.smt_rates.machine.is_smt
+        assert not context.quad_rates.machine.is_smt
+
+    def test_subsampled(self):
+        context = default_context(max_workloads=12, seed=5)
+        assert len(context.workloads) == 12
+
+    def test_rates_for(self):
+        context = default_context(max_workloads=2)
+        assert context.rates_for("smt") is context.smt_rates
+        assert context.rates_for("quad") is context.quad_rates
+        with pytest.raises(ValueError):
+            context.rates_for("gpu")
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [("a", 1), ("longer", 22)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line.rstrip()) for line in lines[:2]}) >= 1
+        assert "longer" in lines[3]
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_cell_stringification(self):
+        text = format_table(["v"], [(1.5,), (None,)])
+        assert "1.5" in text
+        assert "None" in text

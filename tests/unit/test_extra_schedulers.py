@@ -1,0 +1,70 @@
+"""Tests for the LJF and RANDOM control schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microarch.rates import TableRates
+from repro.queueing.job import Job
+from repro.queueing.schedulers import (
+    LongJobFirstScheduler,
+    RandomScheduler,
+    make_scheduler,
+)
+
+
+@pytest.fixture()
+def rates() -> TableRates:
+    return TableRates(
+        {
+            ("A",): {"A": 1.0},
+            ("A", "A"): {"A": 2.0},
+        }
+    )
+
+
+def make_jobs(*remainings) -> list[Job]:
+    return [
+        Job(job_id=i, job_type="A", size=r, arrival_time=float(i), remaining=r)
+        for i, r in enumerate(remainings)
+    ]
+
+
+class TestLongJobFirst:
+    def test_picks_longest(self, rates):
+        scheduler = LongJobFirstScheduler(rates, contexts=2)
+        jobs = make_jobs(1.0, 5.0, 3.0)
+        selected = scheduler.select(jobs, clock=0.0)
+        assert sorted(j.remaining for j in selected) == [3.0, 5.0]
+
+    def test_tie_break_by_id(self, rates):
+        scheduler = LongJobFirstScheduler(rates, contexts=1)
+        jobs = make_jobs(2.0, 2.0)
+        selected = scheduler.select(jobs, clock=0.0)
+        assert selected[0].job_id == 0
+
+    def test_factory(self, rates):
+        assert make_scheduler("ljf", rates, 2).name == "ljf"
+
+
+class TestRandom:
+    def test_takes_all_when_few(self, rates):
+        scheduler = RandomScheduler(rates, contexts=4, seed=1)
+        jobs = make_jobs(1.0, 2.0)
+        assert len(scheduler.select(jobs, clock=0.0)) == 2
+
+    def test_samples_without_replacement(self, rates):
+        scheduler = RandomScheduler(rates, contexts=2, seed=1)
+        jobs = make_jobs(1.0, 2.0, 3.0, 4.0)
+        selected = scheduler.select(jobs, clock=0.0)
+        assert len({j.job_id for j in selected}) == 2
+
+    def test_deterministic_given_seed(self, rates):
+        jobs = make_jobs(1.0, 2.0, 3.0, 4.0)
+        a = RandomScheduler(rates, contexts=2, seed=5).select(jobs, 0.0)
+        b = RandomScheduler(rates, contexts=2, seed=5).select(jobs, 0.0)
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+
+    def test_factory_passes_seed(self, rates):
+        scheduler = make_scheduler("random", rates, 2, seed=3)
+        assert scheduler.name == "random"

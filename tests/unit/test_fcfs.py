@@ -1,0 +1,118 @@
+"""Tests for the FCFS throughput model (repro.core.fcfs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fcfs import fcfs_throughput, simulate_fcfs_throughput
+from repro.core.optimal import optimal_throughput, worst_throughput
+from repro.core.workload import Workload
+from repro.errors import ModelError, WorkloadError
+from repro.microarch.rates import TableRates
+
+AB = Workload.of("A", "B")
+
+
+class TestMarkovModel:
+    def test_fractions_sum_to_one(self, synthetic_rates):
+        result = fcfs_throughput(synthetic_rates, AB, contexts=2)
+        assert sum(result.fractions.values()) == pytest.approx(1.0)
+
+    def test_insensitive_rates_analytic(self, insensitive_rates):
+        """With insensitive jobs (A rate .8, B rate .4 always), FCFS
+        must land on the scheduler-independent throughput."""
+        result = fcfs_throughput(insensitive_rates, AB, contexts=2)
+        expected = 2 * 2 / (1 / 0.8 + 1 / 0.4)
+        assert result.throughput == pytest.approx(expected, rel=1e-6)
+
+    def test_slow_jobs_linger(self, insensitive_rates):
+        """Slow type B (rate .4 vs A's .8) occupies contexts longer, so
+        B-heavy coschedules get more than their multinomial share —
+        the Table-II deviation the paper explains."""
+        result = fcfs_throughput(insensitive_rates, AB, contexts=2)
+        # Multinomial draw: AA 25%, AB 50%, BB 25%.
+        assert result.fraction_of(("B", "B")) > 0.25
+        assert result.fraction_of(("A", "A")) < 0.25
+
+    def test_symmetric_types_get_symmetric_fractions(self):
+        rates = TableRates(
+            {
+                ("A", "A"): {"A": 1.0},
+                ("A", "B"): {"A": 0.6, "B": 0.6},
+                ("B", "B"): {"B": 1.0},
+            }
+        )
+        result = fcfs_throughput(rates, AB, contexts=2)
+        assert result.fraction_of(("A", "A")) == pytest.approx(
+            result.fraction_of(("B", "B")), rel=1e-6
+        )
+
+    def test_between_worst_and_optimal(self, smt_rates, mixed_workload):
+        """FCFS satisfies the equal-work constraint in steady state, so
+        it must lie within the LP bounds."""
+        fcfs = fcfs_throughput(smt_rates, mixed_workload)
+        best = optimal_throughput(smt_rates, mixed_workload)
+        worst = worst_throughput(smt_rates, mixed_workload)
+        assert worst.throughput - 1e-6 <= fcfs.throughput <= best.throughput + 1e-6
+
+    def test_zero_rate_rejected(self):
+        rates = TableRates(
+            {
+                ("A", "A"): {"A": 0.0},
+                ("A", "B"): {"A": 0.5, "B": 0.5},
+                ("B", "B"): {"B": 1.0},
+            }
+        )
+        with pytest.raises(ModelError):
+            fcfs_throughput(rates, AB, contexts=2)
+
+    def test_contexts_required_for_frozen_tables(self, synthetic_rates):
+        with pytest.raises(WorkloadError):
+            fcfs_throughput(synthetic_rates, AB)
+
+
+class TestSimulation:
+    def test_matches_markov_model(self, synthetic_rates):
+        analytic = fcfs_throughput(synthetic_rates, AB, contexts=2)
+        simulated = simulate_fcfs_throughput(
+            synthetic_rates, AB, contexts=2, n_jobs=30_000, seed=11
+        )
+        assert simulated.throughput == pytest.approx(
+            analytic.throughput, rel=0.03
+        )
+
+    def test_matches_markov_on_simulated_rates(self, smt_rates, mixed_workload):
+        analytic = fcfs_throughput(smt_rates, mixed_workload)
+        simulated = simulate_fcfs_throughput(
+            smt_rates, mixed_workload, n_jobs=15_000, seed=3
+        )
+        assert simulated.throughput == pytest.approx(
+            analytic.throughput, rel=0.04
+        )
+
+    def test_deterministic_given_seed(self, synthetic_rates):
+        a = simulate_fcfs_throughput(
+            synthetic_rates, AB, contexts=2, n_jobs=2_000, seed=5
+        )
+        b = simulate_fcfs_throughput(
+            synthetic_rates, AB, contexts=2, n_jobs=2_000, seed=5
+        )
+        assert a.throughput == b.throughput
+
+    def test_fraction_normalization(self, synthetic_rates):
+        result = simulate_fcfs_throughput(
+            synthetic_rates, AB, contexts=2, n_jobs=5_000, seed=1
+        )
+        assert sum(result.fractions.values()) == pytest.approx(1.0)
+
+    def test_too_few_jobs_rejected(self, synthetic_rates):
+        with pytest.raises(WorkloadError):
+            simulate_fcfs_throughput(
+                synthetic_rates, AB, contexts=2, n_jobs=1
+            )
+
+    def test_bad_job_size_rejected(self, synthetic_rates):
+        with pytest.raises(WorkloadError):
+            simulate_fcfs_throughput(
+                synthetic_rates, AB, contexts=2, n_jobs=100, job_size=0.0
+            )

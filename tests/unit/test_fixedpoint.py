@@ -1,0 +1,63 @@
+"""Tests for repro.util.fixedpoint."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.util.fixedpoint import solve_fixed_point
+
+
+class TestSolveFixedPoint:
+    def test_converges_on_contraction(self):
+        # x = cos(x) has the Dottie fixed point ~0.739085.
+        result = solve_fixed_point(
+            lambda x: [math.cos(x[0])], [0.0], damping=1.0
+        )
+        assert result.value[0] == pytest.approx(0.7390851, abs=1e-6)
+
+    def test_converges_on_linear_system(self):
+        # x = Ax + b with spectral radius < 1.
+        def linear(x):
+            return [0.5 * x[0] + 0.1 * x[1] + 1.0, 0.2 * x[0] + 0.3 * x[1] + 2.0]
+
+        result = solve_fixed_point(linear, [0.0, 0.0])
+        x, y = result.value
+        assert x == pytest.approx(0.5 * x + 0.1 * y + 1.0, abs=1e-6)
+        assert y == pytest.approx(0.2 * x + 0.3 * y + 2.0, abs=1e-6)
+
+    def test_damping_tames_oscillation(self):
+        # x -> 2 - x oscillates forever undamped but has fixed point 1.
+        result = solve_fixed_point(lambda x: [2.0 - x[0]], [0.0], damping=0.5)
+        assert result.value[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_divergence_raises(self):
+        with pytest.raises(ConvergenceError):
+            solve_fixed_point(
+                lambda x: [2.0 * x[0] + 1.0], [1.0], max_iterations=50
+            )
+
+    def test_reports_iterations_and_residual(self):
+        result = solve_fixed_point(lambda x: [0.5 * x[0]], [1.0])
+        assert result.iterations >= 1
+        assert result.residual <= 1e-9
+
+    def test_identity_converges_immediately(self):
+        result = solve_fixed_point(lambda x: list(x), [3.0, 4.0])
+        assert result.value == (3.0, 4.0)
+        assert result.iterations == 1
+
+    def test_invalid_damping_rejected(self):
+        for damping in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                solve_fixed_point(lambda x: list(x), [1.0], damping=damping)
+
+    def test_empty_start_rejected(self):
+        with pytest.raises(ValueError):
+            solve_fixed_point(lambda x: list(x), [])
+
+    def test_dimension_change_rejected(self):
+        with pytest.raises(ValueError):
+            solve_fixed_point(lambda x: [1.0, 2.0], [1.0])

@@ -1,0 +1,49 @@
+"""Tests for the Table-II heterogeneity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heterogeneity import heterogeneity_table
+from repro.core.workload import Workload
+
+AB = Workload.of("A", "B")
+
+
+class TestHeterogeneityTable:
+    def test_rows_cover_all_levels(self, synthetic_rates):
+        table = heterogeneity_table(synthetic_rates, AB, contexts=2)
+        assert [row.heterogeneity for row in table.rows] == [1, 2]
+
+    def test_fractions_sum_to_one_per_scheduler(self, synthetic_rates):
+        table = heterogeneity_table(synthetic_rates, AB, contexts=2)
+        assert sum(r.fcfs_fraction for r in table.rows) == pytest.approx(1.0)
+        assert sum(r.optimal_fraction for r in table.rows) == pytest.approx(1.0)
+        assert sum(r.worst_fraction for r in table.rows) == pytest.approx(1.0)
+        assert sum(r.draw_probability for r in table.rows) == pytest.approx(1.0)
+
+    def test_row_accessor(self, synthetic_rates):
+        table = heterogeneity_table(synthetic_rates, AB, contexts=2)
+        assert table.row(1).heterogeneity == 1
+        with pytest.raises(KeyError):
+            table.row(5)
+
+    def test_mean_instantaneous_tp(self, synthetic_rates):
+        table = heterogeneity_table(synthetic_rates, AB, contexts=2)
+        # Homogeneous group: AA (1.6) and BB (0.8) -> mean 1.2.
+        assert table.row(1).mean_instantaneous_tp == pytest.approx(1.2)
+        assert table.row(2).mean_instantaneous_tp == pytest.approx(1.4)
+
+    def test_smt_paper_shape(self, smt_rates, mixed_workload):
+        """On SMT: instantaneous TP rises with heterogeneity, the worst
+        scheduler concentrates on homogeneous coschedules, and FCFS
+        lands near the multinomial draw mix."""
+        table = heterogeneity_table(smt_rates, mixed_workload)
+        its = [row.mean_instantaneous_tp for row in table.rows]
+        assert its[0] < its[-1]
+        assert table.row(1).worst_fraction > 0.5
+        assert table.row(4).worst_fraction == pytest.approx(0.0, abs=1e-9)
+        for row in table.rows:
+            assert row.fcfs_fraction == pytest.approx(
+                row.draw_probability, abs=0.12
+            )

@@ -1,0 +1,102 @@
+"""Cross-validation: from-scratch simplex vs scipy HiGHS.
+
+The paper used glpk; we cross-check our simplex against an independent
+industrial solver on randomized instances and on real Section-IV
+throughput programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+pytest.importorskip("scipy")
+
+from repro.core.optimal import optimal_throughput, worst_throughput
+from repro.core.workload import Workload
+from repro.lp.model import Model, Sense
+from repro.lp.solution import SolveStatus
+
+
+@st.composite
+def random_lp(draw):
+    """A random bounded-feasible LP: max c'x s.t. Ax <= b, 0 <= x <= u."""
+    n = draw(st.integers(2, 6))
+    m_rows = draw(st.integers(1, 5))
+    # Coefficients rounded to 3 decimals: sub-tolerance values (1e-7)
+    # make the two solvers legitimately disagree about which side of
+    # zero a degenerate optimum sits on.
+    coef = st.floats(
+        min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False
+    ).map(lambda x: round(x, 3))
+    pos = st.floats(
+        min_value=0.5, max_value=10.0, allow_nan=False, allow_infinity=False
+    ).map(lambda x: round(x, 3))
+    c = draw(st.lists(coef, min_size=n, max_size=n))
+    A = [
+        draw(st.lists(coef, min_size=n, max_size=n)) for _ in range(m_rows)
+    ]
+    b = draw(st.lists(pos, min_size=m_rows, max_size=m_rows))
+    u = draw(st.lists(pos, min_size=n, max_size=n))
+    return c, A, b, u
+
+
+def build_model(c, A, b, u) -> Model:
+    model = Model("random", sense=Sense.MAXIMIZE)
+    xs = [
+        model.add_variable(f"x{i}", lower=0.0, upper=u[i])
+        for i in range(len(c))
+    ]
+    for row, rhs in zip(A, b):
+        model.add_constraint(
+            sum(coef * x for coef, x in zip(row, xs)) <= rhs
+        )
+    model.set_objective(sum(coef * x for coef, x in zip(c, xs)))
+    return model
+
+
+class TestRandomInstances:
+    @given(random_lp())
+    @settings(max_examples=40, deadline=None)
+    def test_objectives_agree(self, instance):
+        c, A, b, u = instance
+        ours = build_model(c, A, b, u).solve(backend="simplex")
+        scipys = build_model(c, A, b, u).solve(backend="scipy")
+        assert ours.status == scipys.status
+        if ours.status is SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(
+                scipys.objective, rel=1e-6, abs=1e-7
+            )
+
+    @given(random_lp())
+    @settings(max_examples=40, deadline=None)
+    def test_simplex_solution_is_feasible(self, instance):
+        c, A, b, u = instance
+        model = build_model(c, A, b, u)
+        solution = model.solve(backend="simplex")
+        if solution.status is SolveStatus.OPTIMAL:
+            assert model.check_feasible(solution.values)
+
+
+class TestThroughputPrograms:
+    """Real Section-IV LPs on simulated rates, both backends."""
+
+    @pytest.mark.parametrize(
+        "types",
+        [
+            ("bzip2", "hmmer", "libquantum", "mcf"),
+            ("calculix", "h264ref", "hmmer", "tonto"),
+            ("gcc.cp-decl", "mcf", "sjeng", "xalancbmk"),
+        ],
+    )
+    def test_backends_agree_on_optimal(self, smt_rates, types):
+        workload = Workload.of(*types)
+        ours = optimal_throughput(smt_rates, workload, backend="simplex")
+        scipys = optimal_throughput(smt_rates, workload, backend="scipy")
+        assert ours.throughput == pytest.approx(scipys.throughput, rel=1e-7)
+
+    def test_backends_agree_on_worst(self, smt_rates):
+        workload = Workload.of("bzip2", "hmmer", "libquantum", "mcf")
+        ours = worst_throughput(smt_rates, workload, backend="simplex")
+        scipys = worst_throughput(smt_rates, workload, backend="scipy")
+        assert ours.throughput == pytest.approx(scipys.throughput, rel=1e-7)

@@ -1,0 +1,104 @@
+"""Tests for the small-set makespan experiment (Section II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.errors import WorkloadError
+from repro.microarch.rates import TableRates
+from repro.queueing.makespan import run_makespan_experiment
+from repro.util.multiset import multisets
+
+AB = Workload.of("A", "B")
+
+
+@pytest.fixture()
+def rates() -> TableRates:
+    """Insensitive rates: per-job A = 1.0, B = 0.5 in any coschedule."""
+    per_job = {"A": 1.0, "B": 0.5}
+    table = {}
+    for size in (1, 2):
+        for cos in multisets(("A", "B"), size):
+            table[cos] = {
+                b: per_job[b] * cos.count(b) for b in set(cos)
+            }
+    return TableRates(table)
+
+
+class TestMakespan:
+    def test_all_jobs_complete(self, rates):
+        result = run_makespan_experiment(
+            rates, AB, "fcfs", n_jobs=10, contexts=2, seed=1
+        )
+        assert result.metrics.completed == 10
+        assert result.makespan > 0.0
+
+    def test_drain_time_bounds(self, rates):
+        result = run_makespan_experiment(
+            rates, AB, "fcfs", n_jobs=8, contexts=2, seed=2
+        )
+        assert 0.0 <= result.drain_time <= result.makespan
+        assert 0.0 <= result.drain_fraction <= 1.0
+
+    def test_drain_exists_for_tiny_sets(self, rates):
+        """With jobs barely exceeding the contexts, the drain tail is a
+        visible share of the makespan — the paper's Section-II point."""
+        result = run_makespan_experiment(
+            rates, AB, "fcfs", n_jobs=5, contexts=2, seed=3
+        )
+        assert result.drain_fraction > 0.0
+
+    def test_ljf_shrinks_drain_vs_random_sizes(self, rates):
+        """Long-job-first leaves short jobs for the drain, so its drain
+        tail is never longer than FCFS's on the same job set."""
+        fcfs = run_makespan_experiment(
+            rates, AB, "fcfs", n_jobs=10, contexts=2, seed=4
+        )
+        ljf = run_makespan_experiment(
+            rates, AB, "ljf", n_jobs=10, contexts=2, seed=4
+        )
+        assert ljf.drain_time <= fcfs.drain_time + 1e-9
+        assert ljf.makespan <= fcfs.makespan + 1e-9
+
+    def test_deterministic(self, rates):
+        a = run_makespan_experiment(
+            rates, AB, "ljf", n_jobs=12, contexts=2, seed=9
+        )
+        b = run_makespan_experiment(
+            rates, AB, "ljf", n_jobs=12, contexts=2, seed=9
+        )
+        assert a.makespan == b.makespan
+
+    def test_bad_inputs(self, rates):
+        with pytest.raises(WorkloadError):
+            run_makespan_experiment(
+                rates, AB, "fcfs", n_jobs=0, contexts=2
+            )
+        with pytest.raises(WorkloadError):
+            run_makespan_experiment(rates, AB, "fcfs", n_jobs=4)
+
+
+class TestPaperObservation:
+    def test_ljf_competitive_with_symbiosis_aware_on_small_sets(
+        self, smt_rates, mixed_workload
+    ):
+        """Xu et al.'s finding (paper Section II): on small fixed job
+        sets, symbiosis-unaware long-job-first is competitive with a
+        symbiosis-aware scheduler because the drain tail dominates."""
+        ljf_spans = []
+        maxit_spans = []
+        for seed in range(4):
+            ljf_spans.append(
+                run_makespan_experiment(
+                    smt_rates, mixed_workload, "ljf", n_jobs=10, seed=seed
+                ).makespan
+            )
+            maxit_spans.append(
+                run_makespan_experiment(
+                    smt_rates, mixed_workload, "maxit", n_jobs=10, seed=seed
+                ).makespan
+            )
+        mean_ljf = sum(ljf_spans) / len(ljf_spans)
+        mean_maxit = sum(maxit_spans) / len(maxit_spans)
+        assert mean_ljf < mean_maxit * 1.10

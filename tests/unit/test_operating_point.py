@@ -1,0 +1,68 @@
+"""Tests for the Figure-4 operating-point classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queueing.operating_point import (
+    classify_operating_point,
+    operating_report,
+)
+
+
+class TestClassification:
+    def test_region_a_sparse(self):
+        point = classify_operating_point(0.1, 1.0, 4)
+        assert point.region == "A"
+        assert not point.scheduler_leverage
+
+    def test_region_b_concurrent_no_queue(self):
+        point = classify_operating_point(1.6, 1.0, 4)
+        assert point.region == "B"
+        assert point.wait_probability < 0.25
+
+    def test_region_c_queueing(self):
+        """The paper's experimental operating point (load ~0.8-0.95)."""
+        point = classify_operating_point(3.4, 1.0, 4)
+        assert point.region == "C"
+        assert point.scheduler_leverage
+
+    def test_region_d_saturation(self):
+        point = classify_operating_point(3.9, 1.0, 4)
+        assert point.region == "D"
+
+    def test_region_d_unstable(self):
+        point = classify_operating_point(5.0, 1.0, 4)
+        assert point.region == "D"
+        assert point.mean_jobs_in_system == float("inf")
+
+    def test_regions_ordered_by_load(self):
+        regions = [
+            classify_operating_point(rate, 1.0, 4).region
+            for rate in (0.2, 1.5, 3.4, 3.95)
+        ]
+        assert regions == ["A", "B", "C", "D"]
+
+    def test_paper_loads_are_region_c(self):
+        """The paper's Figure-5 loads (0.8-0.95) sit in region C."""
+        for load in (0.8, 0.9, 0.95):
+            assert classify_operating_point(load * 4.0, 1.0, 4).region == "C"
+
+    def test_bad_contexts(self):
+        with pytest.raises(ConfigurationError):
+            classify_operating_point(1.0, 1.0, 0)
+
+
+class TestReport:
+    def test_sweep(self):
+        report = operating_report(4.0, 4, [0.05, 0.4, 0.85, 0.99])
+        assert [p.region for _, p in report] == ["A", "B", "C", "D"]
+
+    def test_paper_experiment_sits_in_c(self):
+        """Loads 0.8-0.95 of capacity (the Figure-5 grid) are region C:
+        the machine is mostly full and some jobs queue."""
+        report = operating_report(4.0, 4, [0.8, 0.9])
+        for _, point in report:
+            assert point.region == "C"
+            assert point.scheduler_leverage

@@ -1,0 +1,70 @@
+"""LP duality checks on the Section-IV program.
+
+The duals of the throughput LP have a clean interpretation: the
+time-budget dual is the marginal value of time, and the equal-work
+duals price work imbalance between types.  Complementary slackness
+links them to the primal support — a strong internal-consistency check
+on both the formulation and the simplex implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import optimal_throughput
+from repro.core.workload import Workload
+
+AB = Workload.of("A", "B")
+
+
+class TestDuals:
+    def test_duals_present(self, synthetic_rates):
+        schedule = optimal_throughput(synthetic_rates, AB, contexts=2)
+        assert "time_budget" in schedule.duals
+        assert "equal_work[B]" in schedule.duals
+
+    def test_complementary_slackness(self, synthetic_rates):
+        """Every coschedule in the support satisfies
+        it(s) = y_time + sum_b y_b (r_b(s) - r_ref(s)) exactly."""
+        schedule = optimal_throughput(synthetic_rates, AB, contexts=2)
+        y_time = schedule.duals["time_budget"]
+        reference = AB.types[0]
+        for s in schedule.fractions:
+            rates = synthetic_rates.type_rates(s)
+            it = sum(rates.values())
+            adjusted = y_time
+            for b in AB.types[1:]:
+                adjusted += schedule.duals[f"equal_work[{b}]"] * (
+                    rates.get(b, 0.0) - rates.get(reference, 0.0)
+                )
+            assert it == pytest.approx(adjusted, rel=1e-7)
+
+    def test_unused_coschedules_priced_out(self, synthetic_rates):
+        """Dual feasibility: for every coschedule (used or not),
+        it(s) <= y_time + sum_b y_b (r_b - r_ref) for a max program."""
+        schedule = optimal_throughput(synthetic_rates, AB, contexts=2)
+        y_time = schedule.duals["time_budget"]
+        reference = AB.types[0]
+        for s in AB.coschedules(2):
+            rates = synthetic_rates.type_rates(s)
+            it = sum(rates.values())
+            adjusted = y_time
+            for b in AB.types[1:]:
+                adjusted += schedule.duals[f"equal_work[{b}]"] * (
+                    rates.get(b, 0.0) - rates.get(reference, 0.0)
+                )
+            assert it <= adjusted + 1e-7
+
+    def test_strong_duality(self, synthetic_rates):
+        """The time-budget dual equals the optimal throughput (the only
+        constraint with a non-zero right-hand side)."""
+        schedule = optimal_throughput(synthetic_rates, AB, contexts=2)
+        assert schedule.duals["time_budget"] == pytest.approx(
+            schedule.throughput, rel=1e-8
+        )
+
+    def test_duals_on_simulated_rates(self, smt_rates, mixed_workload):
+        schedule = optimal_throughput(smt_rates, mixed_workload)
+        assert schedule.duals["time_budget"] == pytest.approx(
+            schedule.throughput, rel=1e-6
+        )

@@ -1,0 +1,76 @@
+"""Tests for the Section-VII policy study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy_study import (
+    ALL_POLICIES,
+    policy_label,
+    run_policy_study,
+)
+from repro.core.workload import Workload
+from repro.microarch.config import FetchPolicy, RobPolicy
+
+WORKLOADS = [
+    Workload.of("bzip2", "hmmer", "libquantum", "mcf"),
+    Workload.of("calculix", "mcf", "sjeng", "xalancbmk"),
+]
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_policy_study(WORKLOADS)
+
+
+class TestPolicyStudy:
+    def test_four_policies(self, study):
+        assert len(study.results) == 4
+        labels = {r.label for r in study.results}
+        assert labels == {policy_label(f, r) for f, r in ALL_POLICIES}
+
+    def test_result_accessor(self, study):
+        result = study.result(FetchPolicy.ICOUNT, RobPolicy.DYNAMIC)
+        assert result.label == "icount+dynamic"
+        with pytest.raises(KeyError):
+            # a policy tuple not in this study
+            run_policy_study(
+                WORKLOADS[:1],
+                policies=[(FetchPolicy.ICOUNT, RobPolicy.DYNAMIC)],
+            ).result(FetchPolicy.ROUND_ROBIN, RobPolicy.STATIC)
+
+    def test_optimal_at_least_fcfs_per_policy(self, study):
+        for result in study.results:
+            for label in study.workload_labels:
+                assert (
+                    result.optimal_tp[label]
+                    >= result.fcfs_tp[label] - 1e-9
+                )
+
+    def test_flip_fraction_bounds(self, study):
+        assert 0.0 <= study.flip_fraction() <= 1.0
+
+    def test_mean_gain_self_is_zero(self, study):
+        gain = study.mean_gain_over(
+            (FetchPolicy.ICOUNT, RobPolicy.DYNAMIC),
+            (FetchPolicy.ICOUNT, RobPolicy.DYNAMIC),
+            metric="fcfs",
+        )
+        assert gain == pytest.approx(0.0)
+
+    def test_best_policy_metrics(self, study):
+        label = study.workload_labels[0]
+        assert study.best_policy(label, metric="fcfs") in {
+            r.label for r in study.results
+        }
+        with pytest.raises(ValueError):
+            study.best_policy(label, metric="bogus")
+
+    def test_icount_dynamic_beats_rr_static(self, study):
+        """The paper's headline Section-VII ordering."""
+        gain = study.mean_gain_over(
+            (FetchPolicy.ROUND_ROBIN, RobPolicy.STATIC),
+            (FetchPolicy.ICOUNT, RobPolicy.DYNAMIC),
+            metric="fcfs",
+        )
+        assert gain > 0.0

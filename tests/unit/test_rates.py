@@ -1,0 +1,127 @@
+"""Tests for RateTable / TableRates (repro.microarch.rates)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.microarch.benchmarks import roster_by_name
+from repro.microarch.config import smt_machine
+from repro.microarch.rates import RateTable, TableRates, canonical_coschedule
+
+
+class TestCanonical:
+    def test_sorts(self):
+        assert canonical_coschedule(["b", "a"]) == ("a", "b")
+
+
+class TestRateTable:
+    def test_alone_wipc_is_one(self, smt_rates):
+        assert smt_rates.wipcs(("hmmer",)) == pytest.approx((1.0,))
+
+    def test_type_rates_sum_matches_it(self, smt_rates):
+        cos = ("bzip2", "hmmer", "libquantum", "mcf")
+        rates = smt_rates.type_rates(cos)
+        assert sum(rates.values()) == pytest.approx(
+            smt_rates.instantaneous_throughput(cos)
+        )
+
+    def test_type_rates_accumulate_multiplicity(self, smt_rates):
+        cos = ("hmmer", "hmmer", "mcf", "mcf")
+        rates = smt_rates.type_rates(cos)
+        per_job = smt_rates.per_job_rate(cos, "hmmer")
+        assert rates["hmmer"] == pytest.approx(2 * per_job)
+
+    def test_per_job_rate_unknown_type(self, smt_rates):
+        with pytest.raises(WorkloadError):
+            smt_rates.per_job_rate(("hmmer", "mcf"), "bzip2")
+
+    def test_wipc_at_most_one(self, smt_rates):
+        """No job runs faster coscheduled than alone."""
+        for wipc in smt_rates.wipcs(("bzip2", "hmmer", "libquantum", "mcf")):
+            assert wipc <= 1.0 + 1e-6
+
+    def test_result_cache_returns_same_object(self, smt_rates):
+        a = smt_rates.result(("bzip2", "mcf"))
+        b = smt_rates.result(("mcf", "bzip2"))
+        assert a is b
+
+    def test_returned_type_rates_are_copies(self, smt_rates):
+        cos = ("bzip2", "mcf")
+        first = smt_rates.type_rates(cos)
+        first["bzip2"] = 999.0
+        assert smt_rates.type_rates(cos)["bzip2"] != 999.0
+
+    def test_precompute_counts(self):
+        roster = roster_by_name("bzip2", "mcf")
+        table = RateTable(smt_machine(), roster)
+        count = table.precompute(sizes=[1, 2])
+        # 2 singles + 3 pairs.
+        assert count == 5
+
+    def test_to_json_round_trip(self):
+        roster = roster_by_name("bzip2", "mcf")
+        table = RateTable(smt_machine(), roster)
+        table.precompute(sizes=[2])
+        buffer = io.StringIO()
+        table.to_json(buffer)
+        buffer.seek(0)
+        frozen = TableRates.from_json(buffer)
+        cos = ("bzip2", "mcf")
+        assert frozen.type_rates(cos) == pytest.approx(table.type_rates(cos))
+
+    def test_snapshot(self, smt_rates):
+        cos = ("bzip2", "mcf")
+        frozen = smt_rates.snapshot([cos])
+        assert frozen.type_rates(cos) == pytest.approx(
+            smt_rates.type_rates(cos)
+        )
+        with pytest.raises(WorkloadError):
+            frozen.type_rates(("hmmer", "hmmer"))
+
+
+class TestTableRates:
+    def test_basic_lookup(self, synthetic_rates):
+        assert synthetic_rates.type_rates(("A", "B")) == {"A": 0.9, "B": 0.5}
+
+    def test_canonicalizes_queries(self, synthetic_rates):
+        assert synthetic_rates.type_rates(("B", "A")) == {"A": 0.9, "B": 0.5}
+
+    def test_missing_coschedule(self, synthetic_rates):
+        with pytest.raises(WorkloadError):
+            synthetic_rates.type_rates(("A", "C"))
+
+    def test_mismatched_types_rejected(self):
+        with pytest.raises(WorkloadError):
+            TableRates({("A", "B"): {"A": 1.0}})
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(WorkloadError):
+            TableRates({("A",): {"A": -1.0}})
+
+    def test_with_rates_replaces_one_entry(self, synthetic_rates):
+        updated = synthetic_rates.with_rates(("A", "B"), {"A": 0.7, "B": 0.7})
+        assert updated.type_rates(("A", "B"))["A"] == 0.7
+        # original untouched
+        assert synthetic_rates.type_rates(("A", "B"))["A"] == 0.9
+
+    def test_with_rates_missing_entry(self, synthetic_rates):
+        with pytest.raises(WorkloadError):
+            synthetic_rates.with_rates(("A", "C"), {"A": 1.0, "C": 1.0})
+
+    def test_json_round_trip(self, synthetic_rates):
+        buffer = io.StringIO()
+        synthetic_rates.to_json(buffer)
+        buffer.seek(0)
+        loaded = TableRates.from_json(buffer)
+        assert loaded.coschedules() == synthetic_rates.coschedules()
+        for cos in loaded.coschedules():
+            assert loaded.type_rates(cos) == synthetic_rates.type_rates(cos)
+
+    def test_per_job_rate(self, synthetic_rates):
+        assert synthetic_rates.per_job_rate(("A", "A"), "A") == pytest.approx(0.8)
+
+    def test_instantaneous_throughput(self, synthetic_rates):
+        assert synthetic_rates.instantaneous_throughput(("A", "B")) == pytest.approx(1.4)

@@ -1,0 +1,83 @@
+"""Tests for ROB partitioning and window shares."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microarch.benchmarks import default_roster
+from repro.microarch.config import FetchPolicy, RobPolicy
+from repro.microarch.rob import occupancy_demand, window_shares
+
+ROSTER = default_roster()
+HMMER = ROSTER["hmmer"]  # w_need 160, compute
+MCF = ROSTER["mcf"]  # w_need 64, memory
+
+
+class TestOccupancyDemand:
+    def test_icount_caps_near_useful_window(self):
+        demand = occupancy_demand(MCF, 0.9, 256, FetchPolicy.ICOUNT)
+        assert demand <= MCF.w_need * 1.25 + 1e-9
+
+    def test_round_robin_runs_away_during_stalls(self):
+        stalled = occupancy_demand(MCF, 0.9, 256, FetchPolicy.ROUND_ROBIN)
+        active = occupancy_demand(MCF, 0.0, 256, FetchPolicy.ROUND_ROBIN)
+        assert stalled > 2 * active
+        assert stalled <= 256.0
+
+    def test_no_stall_equals_useful_window(self):
+        for policy in FetchPolicy:
+            demand = occupancy_demand(HMMER, 0.0, 256, policy)
+            assert demand == pytest.approx(float(HMMER.w_need))
+
+    def test_invalid_stall_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_demand(HMMER, 1.2, 256, FetchPolicy.ICOUNT)
+
+
+class TestWindowShares:
+    def test_static_partitions_evenly(self):
+        jobs = [HMMER, MCF, MCF, HMMER]
+        shares = window_shares(
+            jobs, [0.1] * 4, 256, RobPolicy.STATIC, FetchPolicy.ICOUNT
+        )
+        assert shares == [64.0] * 4
+
+    def test_single_thread_gets_whole_rob(self):
+        shares = window_shares(
+            [MCF], [0.9], 256, RobPolicy.DYNAMIC, FetchPolicy.ROUND_ROBIN
+        )
+        assert shares == [256.0]
+
+    def test_dynamic_respects_rob_capacity(self):
+        jobs = [MCF] * 4
+        shares = window_shares(
+            jobs, [0.95] * 4, 256, RobPolicy.DYNAMIC, FetchPolicy.ROUND_ROBIN
+        )
+        assert sum(shares) <= 256.0 + 1e-9
+
+    def test_dynamic_with_icount_gives_compute_more(self):
+        """Under ICOUNT+dynamic, the large-window compute thread gets a
+        bigger window than the small-window memory thread."""
+        jobs = [HMMER, MCF]
+        shares = window_shares(
+            jobs, [0.05, 0.9], 256, RobPolicy.DYNAMIC, FetchPolicy.ICOUNT
+        )
+        assert shares[0] > shares[1]
+
+    def test_dynamic_with_rr_lets_memory_thread_hog(self):
+        """Under RR+dynamic, a heavily stalled memory thread out-occupies
+        the compute thread (the classic ROB-clog pathology)."""
+        jobs = [HMMER, MCF]
+        shares = window_shares(
+            jobs, [0.05, 0.9], 256, RobPolicy.DYNAMIC, FetchPolicy.ROUND_ROBIN
+        )
+        assert shares[1] > shares[0]
+
+    def test_empty(self):
+        assert window_shares([], [], 256, RobPolicy.DYNAMIC, FetchPolicy.ICOUNT) == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            window_shares(
+                [HMMER], [0.1, 0.2], 256, RobPolicy.STATIC, FetchPolicy.ICOUNT
+            )

@@ -1,0 +1,146 @@
+"""Tests for the coschedule simulator facade and core models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.microarch.benchmarks import default_roster
+from repro.microarch.config import quad_core_machine, smt_machine
+from repro.microarch.simulator import simulate_coschedule
+
+ROSTER = default_roster()
+SMT = smt_machine()
+QUAD = quad_core_machine()
+
+
+class TestFacade:
+    def test_canonical_ordering(self):
+        a = simulate_coschedule(SMT, ROSTER, ("mcf", "hmmer"))
+        b = simulate_coschedule(SMT, ROSTER, ("hmmer", "mcf"))
+        assert a.job_names == b.job_names == ("hmmer", "mcf")
+        assert a.ipcs == b.ipcs
+
+    def test_deterministic(self):
+        r1 = simulate_coschedule(SMT, ROSTER, ("bzip2", "mcf", "sjeng"))
+        r2 = simulate_coschedule(SMT, ROSTER, ("bzip2", "mcf", "sjeng"))
+        assert r1.ipcs == r2.ipcs
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WorkloadError):
+            simulate_coschedule(SMT, ROSTER, ("nonexistent",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            simulate_coschedule(SMT, ROSTER, ())
+
+    def test_too_many_jobs_rejected(self):
+        with pytest.raises(WorkloadError):
+            simulate_coschedule(SMT, ROSTER, ("bzip2",) * 5)
+
+    def test_ipc_of_accessor(self):
+        result = simulate_coschedule(SMT, ROSTER, ("hmmer", "hmmer", "mcf"))
+        assert len(result.ipc_of("hmmer")) == 2
+        with pytest.raises(WorkloadError):
+            result.ipc_of("bzip2")
+
+
+class TestPhysicalInvariants:
+    @pytest.mark.parametrize("machine", [SMT, QUAD], ids=["smt", "quad"])
+    def test_all_rates_positive(self, machine):
+        result = simulate_coschedule(
+            machine, ROSTER, ("hmmer", "libquantum", "mcf", "xalancbmk")
+        )
+        assert all(ipc > 0.0 for ipc in result.ipcs)
+
+    @pytest.mark.parametrize("machine", [SMT, QUAD], ids=["smt", "quad"])
+    def test_coscheduled_never_faster_than_alone(self, machine):
+        for name in ("hmmer", "mcf", "libquantum", "bzip2"):
+            alone = simulate_coschedule(machine, ROSTER, (name,)).ipcs[0]
+            co = simulate_coschedule(
+                machine, ROSTER, (name, "mcf", "libquantum", "hmmer")
+            )
+            for job, ipc in zip(co.job_names, co.ipcs):
+                if job == name:
+                    assert ipc <= alone * (1.0 + 1e-6)
+
+    def test_symmetric_jobs_get_symmetric_performance(self):
+        result = simulate_coschedule(SMT, ROSTER, ("mcf",) * 4)
+        assert max(result.ipcs) - min(result.ipcs) < 1e-7
+
+    def test_smt_total_ipc_below_width(self):
+        result = simulate_coschedule(
+            SMT, ROSTER, ("calculix", "h264ref", "hmmer", "tonto")
+        )
+        assert result.total_ipc <= SMT.width + 1e-9
+
+    def test_quad_per_job_ipc_below_width(self):
+        result = simulate_coschedule(
+            QUAD, ROSTER, ("calculix", "h264ref", "hmmer", "tonto")
+        )
+        assert all(ipc <= QUAD.width for ipc in result.ipcs)
+
+    def test_cache_shares_sum_to_llc(self):
+        for machine in (SMT, QUAD):
+            result = simulate_coschedule(
+                machine, ROSTER, ("bzip2", "mcf", "sjeng", "xalancbmk")
+            )
+            assert sum(result.cache_mb) == pytest.approx(
+                machine.llc_mb, rel=1e-6
+            )
+
+    def test_bus_utilization_bounded(self):
+        result = simulate_coschedule(SMT, ROSTER, ("libquantum",) * 4)
+        assert 0.0 <= result.bus_utilization <= SMT.bus_max_utilization
+
+    def test_memory_latency_at_least_uncontended(self):
+        result = simulate_coschedule(QUAD, ROSTER, ("mcf", "libquantum"))
+        assert result.memory_latency >= QUAD.mem_latency_cycles
+
+
+class TestQualitativeBehaviour:
+    def test_smt_compute_jobs_crushed_by_co_runners(self):
+        """The paper's SMT reality: a high-IPC job loses most of its
+        performance with three active co-runners (hmmer: ~2.5 alone vs
+        ~0.31 coscheduled in their data)."""
+        alone = simulate_coschedule(SMT, ROSTER, ("hmmer",)).ipcs[0]
+        crowded = simulate_coschedule(
+            SMT, ROSTER, ("calculix", "h264ref", "hmmer", "tonto")
+        )
+        hmmer_ipc = crowded.ipc_of("hmmer")[0]
+        assert hmmer_ipc < 0.5 * alone
+
+    def test_quad_compute_jobs_nearly_insensitive(self):
+        """On the quad-core, a small-footprint compute job keeps most of
+        its alone performance regardless of co-runners."""
+        alone = simulate_coschedule(QUAD, ROSTER, ("hmmer",)).ipcs[0]
+        crowded = simulate_coschedule(
+            QUAD, ROSTER, ("hmmer", "sjeng", "calculix", "tonto")
+        )
+        assert crowded.ipc_of("hmmer")[0] > 0.7 * alone
+
+    def test_smt_unfairness_memory_vs_compute(self):
+        """SMT slowdowns are unequally distributed: relative to running
+        alone, the memory-bound job retains more of its performance
+        than the compute job in a mixed coschedule."""
+        mix = ("hmmer", "hmmer", "mcf", "mcf")
+        result = simulate_coschedule(SMT, ROSTER, mix)
+        hmmer_alone = simulate_coschedule(SMT, ROSTER, ("hmmer",)).ipcs[0]
+        mcf_alone = simulate_coschedule(SMT, ROSTER, ("mcf",)).ipcs[0]
+        hmmer_retained = result.ipc_of("hmmer")[0] / hmmer_alone
+        mcf_retained = result.ipc_of("mcf")[0] / mcf_alone
+        assert mcf_retained > hmmer_retained
+
+    def test_bandwidth_hogs_hurt_each_other(self):
+        one = simulate_coschedule(QUAD, ROSTER, ("libquantum",)).ipcs[0]
+        four = simulate_coschedule(QUAD, ROSTER, ("libquantum",) * 4)
+        assert four.ipcs[0] < 0.75 * one
+
+    def test_icount_vs_rr_changes_results(self):
+        rr = smt_machine(fetch_policy=__import__(
+            "repro.microarch.config", fromlist=["FetchPolicy"]
+        ).FetchPolicy.ROUND_ROBIN)
+        mix = ("hmmer", "mcf", "sjeng", "xalancbmk")
+        a = simulate_coschedule(SMT, ROSTER, mix)
+        b = simulate_coschedule(rr, ROSTER, mix)
+        assert a.ipcs != b.ipcs

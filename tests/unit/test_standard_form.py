@@ -1,0 +1,77 @@
+"""Tests for the model -> standard form compiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp.model import Model, Sense
+from repro.lp.standard_form import to_standard_form
+
+
+class TestStandardForm:
+    def test_nonnegative_rhs(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x >= -2.0)  # rhs -2 -> row negated
+        m.set_objective(x)
+        form = to_standard_form(m)
+        assert np.all(form.b >= 0.0)
+
+    def test_slack_columns_added_for_inequalities(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x <= 3.0)
+        m.add_constraint(x >= 1.0)
+        m.set_objective(x)
+        form = to_standard_form(m)
+        kinds = [kind for kind, _ in form.column_meaning]
+        assert kinds.count("slack") == 2
+
+    def test_equality_gets_no_slack(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x == 3.0)
+        m.set_objective(x)
+        form = to_standard_form(m)
+        kinds = [kind for kind, _ in form.column_meaning]
+        assert "slack" not in kinds
+
+    def test_free_variable_split(self):
+        m = Model()
+        m.add_variable("x", lower=None)
+        form = to_standard_form(m)
+        var_cols = [p for k, p in form.column_meaning if k == "var"]
+        assert len(var_cols) == 2
+        signs = sorted(payload[2] for payload in var_cols)
+        assert signs == [-1.0, 1.0]
+
+    def test_lower_bound_shift_recovery(self):
+        m = Model(sense=Sense.MINIMIZE)
+        m.add_variable("x", lower=5.0)
+        form = to_standard_form(m)
+        values = form.recover_values(np.zeros(form.n_cols))
+        assert values["x"] == pytest.approx(5.0)
+
+    def test_objective_sign_for_maximize(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.add_variable("x")
+        m.set_objective(2 * x)
+        form = to_standard_form(m)
+        # standard form minimizes, so the compiled coefficient is -2.
+        assert form.c[0] == pytest.approx(-2.0)
+        assert form.recover_objective(-6.0) == pytest.approx(6.0)
+
+    def test_upper_bound_becomes_row(self):
+        m = Model()
+        m.add_variable("x", upper=7.0)
+        form = to_standard_form(m)
+        assert form.n_rows == 1
+        assert form.b[0] == pytest.approx(7.0)
+
+    def test_row_names_preserved(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x == 1.0, name="pin")
+        form = to_standard_form(m)
+        assert "pin" in form.row_names

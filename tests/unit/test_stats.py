@@ -1,0 +1,99 @@
+"""Tests for repro.util.stats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import pearson, slope_through_origin, spread, summarize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.count == 3
+
+    def test_spread_is_paper_variability(self):
+        # (max - min) / mean
+        assert summarize([1.0, 2.0, 3.0]).spread == pytest.approx(1.0)
+
+    def test_zero_mean_spread(self):
+        assert summarize([-1.0, 1.0]).spread == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_bounds(self, values):
+        stats = summarize(values)
+        # One-ulp tolerance: summation rounding can push the mean of
+        # identical values marginally outside [min, max].
+        slack = 1e-9 * max(1.0, abs(stats.mean))
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+
+    def test_spread_function_matches(self):
+        values = [0.5, 1.5, 2.5]
+        assert spread(values) == summarize(values).spread
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+
+    @given(
+        st.lists(
+            st.tuples(finite_floats, finite_floats), min_size=2, max_size=40
+        )
+    )
+    def test_bounded_by_one(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9
+
+
+class TestSlopeThroughOrigin:
+    def test_exact_line(self):
+        # y - 1 = 0.5 (x - 1)
+        xs = [1.0, 1.2, 1.4]
+        ys = [1.0, 1.1, 1.2]
+        assert slope_through_origin(xs, ys) == pytest.approx(0.5)
+
+    def test_degenerate_x_returns_zero(self):
+        assert slope_through_origin([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+    def test_custom_origin(self):
+        xs = [2.0, 3.0]
+        ys = [4.0, 6.0]
+        assert slope_through_origin(xs, ys, origin=(0.0, 0.0)) == pytest.approx(
+            2.0
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            slope_through_origin([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            slope_through_origin([1.0], [1.0, 2.0])

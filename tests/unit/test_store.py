@@ -1,0 +1,69 @@
+"""Tests for on-disk rate-table persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microarch.benchmarks import roster_by_name
+from repro.microarch.config import quad_core_machine, smt_machine
+from repro.microarch.rates import RateTable
+from repro.microarch.store import load_rates, machine_fingerprint, save_rates
+
+
+@pytest.fixture()
+def small_table() -> RateTable:
+    return RateTable(smt_machine(), roster_by_name("bzip2", "mcf"))
+
+
+class TestSaveLoad:
+    def test_round_trip(self, small_table, tmp_path):
+        path = tmp_path / "rates.json"
+        count = save_rates(small_table, path)
+        assert count == 2 + 3 + 4 + 5  # sizes 1..4 of 2 types
+        loaded, metadata = load_rates(path)
+        cos = ("bzip2", "mcf")
+        assert loaded.type_rates(cos) == pytest.approx(
+            small_table.type_rates(cos)
+        )
+        assert metadata["name"] == "smt4"
+
+    def test_explicit_coschedules(self, small_table, tmp_path):
+        path = tmp_path / "rates.json"
+        count = save_rates(
+            small_table, path, coschedules=[("mcf", "bzip2")]
+        )
+        assert count == 1
+        loaded, _ = load_rates(path)
+        assert loaded.coschedules() == [("bzip2", "mcf")]
+
+    def test_fingerprint_match_accepted(self, small_table, tmp_path):
+        path = tmp_path / "rates.json"
+        save_rates(small_table, path, coschedules=[("bzip2",)])
+        loaded, _ = load_rates(path, expect_machine=smt_machine())
+        assert loaded.coschedules() == [("bzip2",)]
+
+    def test_fingerprint_mismatch_rejected(self, small_table, tmp_path):
+        path = tmp_path / "rates.json"
+        save_rates(small_table, path, coschedules=[("bzip2",)])
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_rates(path, expect_machine=quad_core_machine())
+        assert "different machine" in str(excinfo.value)
+
+    def test_version_mismatch_rejected(self, small_table, tmp_path):
+        path = tmp_path / "rates.json"
+        save_rates(small_table, path, coschedules=[("bzip2",)])
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            load_rates(path)
+
+    def test_fingerprint_contents(self):
+        fp = machine_fingerprint(smt_machine())
+        assert fp["kind"] == "smt"
+        assert fp["fetch_policy"] == "icount"
+        assert fp["rob_policy"] == "dynamic"
+        assert fp["llc_mb"] == 4.0

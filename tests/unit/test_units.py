@@ -1,0 +1,61 @@
+"""Tests for the unit-of-work comparison (Section III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.units import compare_units, instruction_rate_view
+from repro.core.workload import Workload
+from repro.errors import WorkloadError
+
+
+class TestInstructionRateView:
+    def test_rates_are_raw_ipc_totals(self, smt_rates):
+        view = instruction_rate_view(
+            smt_rates, ("bzip2", "mcf"), sizes=(2,)
+        )
+        cos = ("bzip2", "mcf")
+        expected = dict(
+            zip(smt_rates.result(cos).job_names, smt_rates.result(cos).ipcs)
+        )
+        assert view.type_rates(cos) == pytest.approx(expected)
+
+    def test_multiplicity_accumulates(self, smt_rates):
+        view = instruction_rate_view(smt_rates, ("hmmer",), sizes=(2,))
+        cos = ("hmmer", "hmmer")
+        assert view.type_rates(cos)["hmmer"] == pytest.approx(
+            sum(smt_rates.result(cos).ipcs)
+        )
+
+    def test_empty_types_rejected(self, smt_rates):
+        with pytest.raises(WorkloadError):
+            instruction_rate_view(smt_rates, ())
+
+
+class TestCompareUnits:
+    @pytest.fixture(scope="class")
+    def comparison(self, smt_rates, mixed_workload):
+        return compare_units(smt_rates, mixed_workload)
+
+    def test_both_units_present(self, comparison):
+        assert set(comparison) == {"weighted", "instruction"}
+        for values in comparison.values():
+            assert set(values) == {"optimal", "fcfs", "worst", "gain"}
+
+    def test_bounds_hold_under_both_units(self, comparison):
+        for values in comparison.values():
+            assert values["worst"] - 1e-9 <= values["fcfs"]
+            assert values["fcfs"] <= values["optimal"] + 1e-9
+
+    def test_qualitative_conclusion_unit_independent(self, comparison):
+        """The paper: the optimal-over-FCFS margin is small under both
+        the weighted and the raw instruction unit."""
+        assert 0.0 <= comparison["weighted"]["gain"] < 0.20
+        assert 0.0 <= comparison["instruction"]["gain"] < 0.20
+
+    def test_units_differ_numerically(self, comparison):
+        """Raw-IPC throughput is a different quantity (hmmer counts 4x
+        more than mcf per unit time)."""
+        assert comparison["weighted"]["fcfs"] != pytest.approx(
+            comparison["instruction"]["fcfs"], rel=1e-3
+        )

@@ -1,0 +1,81 @@
+"""Tests for the Figure-1 variability metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variability import job_wipc_stats, workload_variability
+from repro.core.workload import Workload
+from repro.microarch.rates import TableRates
+
+AB = Workload.of("A", "B")
+
+
+@pytest.fixture()
+def skewed_rates() -> TableRates:
+    """Type A's per-job rate swings 0.5..1.0; B is constant 0.4."""
+    return TableRates(
+        {
+            ("A", "A"): {"A": 2.0},  # per-job 1.0
+            ("A", "B"): {"A": 0.5, "B": 0.4},  # per-job A 0.5
+            ("B", "B"): {"B": 0.8},  # per-job 0.4
+        }
+    )
+
+
+class TestJobStats:
+    def test_per_job_rates_collected(self, skewed_rates):
+        stats = job_wipc_stats(skewed_rates, AB, 2)
+        assert stats["A"].stats.maximum == pytest.approx(1.0)
+        assert stats["A"].stats.minimum == pytest.approx(0.5)
+        assert stats["B"].stats.maximum == pytest.approx(0.4)
+
+    def test_relative_swings(self, skewed_rates):
+        stats = job_wipc_stats(skewed_rates, AB, 2)
+        assert stats["A"].relative_max == pytest.approx(1.0 / 0.75 - 1.0)
+        assert stats["A"].relative_min == pytest.approx(0.5 / 0.75 - 1.0)
+        assert stats["B"].spread == pytest.approx(0.0)
+
+    def test_insensitive_types_have_zero_spread(self, insensitive_rates):
+        stats = job_wipc_stats(insensitive_rates, AB, 2)
+        assert stats["A"].spread == pytest.approx(0.0)
+        assert stats["B"].spread == pytest.approx(0.0)
+
+
+class TestWorkloadVariability:
+    def test_report_fields_consistent(self, skewed_rates):
+        report = workload_variability(skewed_rates, AB, contexts=2)
+        assert report.optimal_tp >= report.fcfs_tp - 1e-9
+        assert report.worst_tp <= report.fcfs_tp + 1e-9
+        assert report.avg_tp_best >= -1e-9
+        assert report.avg_tp_worst <= 1e-9
+        assert report.avg_tp_spread == pytest.approx(
+            report.avg_tp_best - report.avg_tp_worst, rel=1e-9
+        )
+
+    def test_bridged_fraction_bounds(self, skewed_rates):
+        report = workload_variability(skewed_rates, AB, contexts=2)
+        assert -1e-9 <= report.bridged_fraction <= 1.0 + 1e-9
+
+    def test_insensitive_workload_has_zero_tp_spread(self, insensitive_rates):
+        report = workload_variability(insensitive_rates, AB, contexts=2)
+        assert report.avg_tp_spread == pytest.approx(0.0, abs=1e-9)
+        assert report.bridged_fraction == 1.0  # degenerate gap
+
+    def test_inst_tp_stats(self, skewed_rates):
+        report = workload_variability(skewed_rates, AB, contexts=2)
+        # it values: AA=2.0, AB=0.9, BB=0.8 -> mean 1.2333
+        assert report.inst_tp_stats.maximum == pytest.approx(2.0)
+        assert report.inst_tp_stats.minimum == pytest.approx(0.8)
+        assert report.inst_tp_relative_max == pytest.approx(2.0 / 1.2333 - 1, rel=1e-3)
+
+    def test_contexts_required_without_machine(self, skewed_rates):
+        with pytest.raises(ValueError):
+            workload_variability(skewed_rates, AB)
+
+    def test_on_simulated_rates_paper_ordering(self, smt_rates, mixed_workload):
+        """The paper's headline ordering for a sensitive workload:
+        average-TP variability is (much) smaller than instantaneous-TP
+        variability."""
+        report = workload_variability(smt_rates, mixed_workload)
+        assert report.avg_tp_spread < report.inst_tp_spread

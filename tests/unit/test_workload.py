@@ -1,0 +1,102 @@
+"""Tests for Workload and Coschedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coschedule import Coschedule
+from repro.core.workload import Workload, all_workloads
+from repro.errors import WorkloadError
+from repro.microarch.benchmarks import BENCHMARK_NAMES
+
+
+class TestWorkload:
+    def test_of_canonicalizes(self):
+        assert Workload.of("mcf", "bzip2").types == ("bzip2", "mcf")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload.of("mcf", "mcf")
+
+    def test_raw_constructor_requires_canonical(self):
+        with pytest.raises(WorkloadError):
+            Workload(types=("b", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(types=())
+
+    def test_coschedule_count_paper(self):
+        workload = Workload.of("a", "b", "c", "d")
+        assert len(workload.coschedules(4)) == 35
+
+    def test_coschedules_are_canonical(self):
+        workload = Workload.of("x", "y")
+        for cos in workload.coschedules(3):
+            assert cos == tuple(sorted(cos))
+
+    def test_bad_contexts(self):
+        with pytest.raises(WorkloadError):
+            Workload.of("a").coschedules(0)
+
+    def test_membership_and_iteration(self):
+        workload = Workload.of("a", "b")
+        assert "a" in workload
+        assert list(workload) == ["a", "b"]
+
+    def test_label(self):
+        assert Workload.of("b", "a").label() == "a+b"
+
+
+class TestAllWorkloads:
+    def test_paper_count_495(self):
+        assert len(all_workloads(BENCHMARK_NAMES, 4)) == 495
+
+    def test_n8_count(self):
+        assert len(all_workloads(BENCHMARK_NAMES, 8)) == 495  # C(12,8)
+
+    def test_distinct(self):
+        workloads = all_workloads(["a", "b", "c"], 2)
+        assert len({w.types for w in workloads}) == 3
+
+    def test_too_many_types_rejected(self):
+        with pytest.raises(WorkloadError):
+            all_workloads(["a", "b"], 3)
+
+    def test_zero_types_rejected(self):
+        with pytest.raises(WorkloadError):
+            all_workloads(["a"], 0)
+
+
+class TestCoschedule:
+    def test_of_canonicalizes(self):
+        assert Coschedule.of("b", "a").jobs == ("a", "b")
+
+    def test_heterogeneity(self):
+        assert Coschedule.of("a", "a", "a", "a").heterogeneity == 1
+        assert Coschedule.of("a", "a", "b", "c").heterogeneity == 3
+        assert Coschedule.of("a", "b", "c", "d").heterogeneity == 4
+
+    def test_is_homogeneous(self):
+        assert Coschedule.of("a", "a").is_homogeneous
+        assert not Coschedule.of("a", "b").is_homogeneous
+
+    def test_counts(self):
+        counts = Coschedule.of("a", "b", "a").counts()
+        assert counts["a"] == 2
+        assert counts["b"] == 1
+        assert Coschedule.of("a").count_of("z") == 0
+
+    def test_label(self):
+        assert Coschedule.of("b", "a", "a").label() == "2xa+1xb"
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Coschedule(jobs=())
+
+    def test_non_canonical_rejected(self):
+        with pytest.raises(WorkloadError):
+            Coschedule(jobs=("b", "a"))
+
+    def test_from_iterable(self):
+        assert Coschedule.from_iterable(iter(["b", "a"])).jobs == ("a", "b")
