@@ -10,6 +10,9 @@ symbiosis-aware scheduler.  This example combines three library layers:
   in identical machines);
 * M/M/K analytics for the latency consequences (Figure 4's mechanism).
 
+README: the "Examples" section of the top-level README.md maps this
+scenario to the library layers it combines.
+
 Run:  python examples/capacity_planning.py
 """
 

@@ -7,6 +7,9 @@ the library the questions a performance engineer would:
 * who are its best and worst co-runners on the SMT machine?
 * how does adding it to a workload change the symbiotic headroom?
 
+README: see the "Examples" section of the top-level README.md and the
+roster notes under "Architecture".
+
 Run:  python examples/custom_benchmark.py
 """
 

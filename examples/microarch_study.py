@@ -7,6 +7,9 @@ report the *optimal-scheduler* throughput — the LP bound of Section IV
 — with no scheduler implementation, and check whether your conclusion
 survives intelligent scheduling.
 
+README: the "Examples" section of the top-level README.md links this to
+the section7 experiment (`python -m repro.experiments section7`).
+
 Run:  python examples/microarch_study.py
 """
 

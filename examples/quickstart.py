@@ -1,11 +1,17 @@
 """Quickstart: how much can a perfect symbiotic scheduler buy you?
 
+README: the "Quickstart" section of the top-level README.md walks
+through this script line by line.
+
 Reproduces the paper's core workflow on one workload:
 
-1. simulate per-coschedule performance on the 4-way SMT machine;
+1. simulate per-coschedule performance on the 4-way SMT machine
+   (through the memoized rate cache, printing its hit/miss stats);
 2. compute the FCFS baseline, the optimal, and the worst long-term
    throughput (Section IV's linear program);
-3. print the optimal schedule's coschedule mix.
+3. print the optimal schedule's coschedule mix;
+4. regenerate a full paper artifact through the unified experiment
+   runner CLI (``python -m repro.experiments``).
 
 Run:  python examples/quickstart.py
 """
@@ -13,6 +19,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import (
+    CachedRateSource,
     RateTable,
     Workload,
     fcfs_throughput,
@@ -20,11 +27,12 @@ from repro import (
     smt_machine,
     worst_throughput,
 )
+from repro.experiments.runner import main as run_experiments
 
 
 def main() -> None:
     machine = smt_machine()
-    rates = RateTable.for_machine(machine)
+    rates = CachedRateSource(RateTable.for_machine(machine))
     workload = Workload.of("hmmer", "mcf", "libquantum", "bzip2")
 
     print(f"machine : {machine.name} ({machine.contexts} contexts)")
@@ -67,6 +75,15 @@ def main() -> None:
         best.fractions.items(), key=lambda kv: -kv[1]
     ):
         print(f"  {fraction:6.1%}  {'+'.join(coschedule)}")
+
+    # Every analysis above went through the memoized rate cache; the
+    # experiment runner persists the same entries across runs.
+    print(f"\n{rates.stats.render()}\n")
+
+    # The same machinery, through the repo's front door: regenerate a
+    # full paper artifact (Figure 4 is pure analytics, so it's instant).
+    print("regenerating Figure 4 via `python -m repro.experiments figure4`:")
+    run_experiments(["figure4", "--no-cache"])
 
 
 if __name__ == "__main__":

@@ -11,6 +11,9 @@ The punchline matches the paper: SRPT wins turnaround at moderate load
 without improving throughput at all; MAXTP converts a small throughput
 gain into a large turnaround cut only near saturation.
 
+README: the "Examples" section of the top-level README.md links this to
+the figure5/figure6 experiments of the unified runner CLI.
+
 Run:  python examples/scheduler_comparison.py
 """
 

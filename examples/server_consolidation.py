@@ -11,6 +11,9 @@ questions:
 * which coschedules should actually run?
 * what happens to latency at realistic loads (Section VI)?
 
+README: the "Examples" section of the top-level README.md maps this
+scenario to the paper sections it draws on.
+
 Run:  python examples/server_consolidation.py
 """
 

@@ -44,6 +44,7 @@ from repro.microarch import (  # noqa: E402
     simulate_coschedule,
 )
 from repro.microarch.rates import RateTable  # noqa: E402
+from repro.microarch.rate_cache import CachedRateSource, RateCacheStore  # noqa: E402
 from repro.core import (  # noqa: E402
     Coschedule,
     Workload,
@@ -63,6 +64,8 @@ __all__ += [
     "smt_machine",
     "simulate_coschedule",
     "RateTable",
+    "CachedRateSource",
+    "RateCacheStore",
     "Coschedule",
     "Workload",
     "OptimalSchedule",

@@ -1,10 +1,18 @@
 """Experiment drivers: one module per paper table/figure.
 
 Each module exposes ``compute_*`` functions returning plain dataclasses
-(consumed by tests and benchmarks) and a ``render`` function producing
-the rows/series the paper reports.  ``python -m repro.experiments.runner
---list`` enumerates them; EXPERIMENTS.md records paper-vs-measured
-values for every artifact.
+(consumed by tests and benchmarks), a ``render`` function producing the
+rows/series the paper reports, and registers itself with
+:mod:`repro.experiments.registry` so the unified CLI can discover it::
+
+    python -m repro.experiments --list
+    python -m repro.experiments all --jobs 4
+
+All experiments run through one shared, persisted
+:class:`~repro.microarch.rate_cache.CachedRateSource` (see
+``docs/architecture.md``), so the microarch simulator sweep is paid
+once and reused across experiments, worker processes, and benchmark
+sessions.
 
 | Module        | Paper artifact                                          |
 |---------------|---------------------------------------------------------|

@@ -1,0 +1,10 @@
+"""``python -m repro.experiments`` — the repository's front door."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,29 @@
-"""Shared experiment plumbing: contexts, sampling, table rendering."""
+"""Shared experiment plumbing: contexts, sampling, table rendering.
+
+An :class:`ExperimentContext` bundles the rate sources for both paper
+machines with the workload list.  When built with ``cache_path`` the
+rate tables are wrapped in
+:class:`~repro.microarch.rate_cache.CachedRateSource` objects backed by
+one :class:`~repro.microarch.rate_cache.RateCacheStore` file, so every
+experiment, benchmark session, and parallel runner worker shares a
+single persisted coschedule-rate sweep.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.workload import Workload, all_workloads
 from repro.microarch.benchmarks import BENCHMARK_NAMES
 from repro.microarch.config import quad_core_machine, smt_machine
-from repro.microarch.rates import RateTable
+from repro.microarch.rate_cache import (
+    CachedRateSource,
+    CacheStats,
+    RateCacheStore,
+)
+from repro.microarch.rates import RateSource, RateTable
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -21,25 +36,62 @@ __all__ = [
 
 @dataclass
 class ExperimentContext:
-    """Rate tables for both machines plus the workload list.
+    """Rate sources for both machines plus the workload list.
 
     Building a context is cheap; coschedules are simulated lazily and
     cached inside each :class:`~repro.microarch.rates.RateTable`, so
     drivers sharing a context share the simulation work — the analogue
-    of the paper running its 1,365-combination Sniper sweep once.
+    of the paper running its 1,365-combination Sniper sweep once.  With
+    a ``cache`` store attached, that sweep additionally persists across
+    processes and repository runs.
     """
 
-    smt_rates: RateTable
-    quad_rates: RateTable
+    smt_rates: RateSource
+    quad_rates: RateSource
     workloads: list[Workload] = field(default_factory=list)
+    cache: RateCacheStore | None = None
 
-    def rates_for(self, config: str) -> RateTable:
-        """The rate table for "smt" or "quad"."""
+    def rates_for(self, config: str) -> RateSource:
+        """The rate source for "smt" or "quad"."""
         if config == "smt":
             return self.smt_rates
         if config == "quad":
             return self.quad_rates
         raise ValueError(f"config must be 'smt' or 'quad', got {config!r}")
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregated hit/miss stats over both rate sources (all-zero
+        when the context is uncached)."""
+        total = CacheStats()
+        for rates in (self.smt_rates, self.quad_rates):
+            if isinstance(rates, CachedRateSource):
+                total = total.merge(rates.stats)
+        return total
+
+    def drain_new_entries(
+        self,
+    ) -> dict[str, dict[tuple[str, ...], dict[str, float]]]:
+        """Per-machine entries computed since the last drain (the delta
+        a parallel worker ships back for merging).  Draining keeps each
+        delta experiment-sized; the full entry set still persists via
+        :meth:`save_cache`."""
+        delta: dict[str, dict[tuple[str, ...], dict[str, float]]] = {}
+        for section, rates in (
+            ("smt", self.smt_rates),
+            ("quad", self.quad_rates),
+        ):
+            if isinstance(rates, CachedRateSource):
+                fresh = rates.drain_new_entries()
+                if fresh:
+                    delta[rates.stats.label or section] = fresh
+        return delta
+
+    def save_cache(self) -> int | None:
+        """Persist the attached cache store; returns entries saved, or
+        None when the context is uncached."""
+        if self.cache is None:
+            return None
+        return self.cache.save()
 
 
 def default_context(
@@ -47,6 +99,7 @@ def default_context(
     n_types: int = 4,
     max_workloads: int | None = None,
     seed: int = 0,
+    cache_path: str | Path | None = None,
 ) -> ExperimentContext:
     """The paper's default setup: 495 four-type workloads, two machines.
 
@@ -55,14 +108,26 @@ def default_context(
         max_workloads: optional deterministic subsample (benchmarks use
             this to bound runtime; None = all workloads).
         seed: sampling seed when subsampling.
+        cache_path: optional path to a persisted
+            :class:`~repro.microarch.rate_cache.RateCacheStore` file;
+            when given, both rate tables are wrapped in cached sources
+            preloaded from (and saved back to) that file.
     """
     workloads = all_workloads(BENCHMARK_NAMES, n_types)
     if max_workloads is not None and max_workloads < len(workloads):
         workloads = sample_workloads(workloads, max_workloads, seed=seed)
+    smt_rates: RateSource = RateTable(smt_machine())
+    quad_rates: RateSource = RateTable(quad_core_machine())
+    store: RateCacheStore | None = None
+    if cache_path is not None:
+        store = RateCacheStore(cache_path)
+        smt_rates = store.wrap(smt_rates)
+        quad_rates = store.wrap(quad_rates)
     return ExperimentContext(
-        smt_rates=RateTable(smt_machine()),
-        quad_rates=RateTable(quad_core_machine()),
+        smt_rates=smt_rates,
+        quad_rates=quad_rates,
         workloads=list(workloads),
+        cache=store,
     )
 
 

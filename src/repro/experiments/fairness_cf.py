@@ -19,6 +19,7 @@ from repro.core.optimal import optimal_throughput, worst_throughput
 from repro.core.workload import Workload
 from repro.experiments.common import ExperimentContext, format_table, sample_workloads
 from repro.microarch.rates import RateTable
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["FairnessOutcome", "compute_fairness_cf", "run", "render"]
 
@@ -125,3 +126,20 @@ def render(outcomes: list[FairnessOutcome]) -> str:
         ],
     )
     return summary + "\n" + table
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[FairnessOutcome]:
+    return run(
+        context,
+        max_workloads=options.workloads(60),
+        seed=options.seed_for("fairness"),
+    )
+
+
+register(Experiment(
+    name="fairness",
+    kind="analysis",
+    title="Sec. V.D — fairness counterfactual",
+    run=_registry_run,
+    render=render,
+))

@@ -21,6 +21,7 @@ from repro.core.variability import WorkloadVariability, workload_variability
 from repro.experiments.common import ExperimentContext, format_table
 from repro.microarch.rates import RateTable
 from repro.util.asciiplot import hbar
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Figure1Bars", "compute_figure1", "run", "render"]
 
@@ -131,3 +132,16 @@ def render(bars_list: list[Figure1Bars]) -> str:
             )
         )
     return table + "\n" + "\n".join(charts)
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[Figure1Bars]:
+    return run(context)
+
+
+register(Experiment(
+    name="figure1",
+    kind="figure",
+    title="Fig. 1 — IPC / inst-TP / avg-TP variability bars",
+    run=_registry_run,
+    render=render,
+))

@@ -15,6 +15,7 @@ from repro.experiments.common import ExperimentContext, format_table
 from repro.microarch.rates import RateTable
 from repro.util.asciiplot import scatter
 from repro.util.stats import slope_through_origin
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Figure2Point", "Figure2Series", "compute_figure2", "run", "render"]
 
@@ -114,3 +115,16 @@ def render(series_list: list[Figure2Series]) -> str:
             )
         )
     return summary + "\n" + "\n".join(details)
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[Figure2Series]:
+    return run(context)
+
+
+register(Experiment(
+    name="figure2",
+    kind="figure",
+    title="Fig. 2 — optimal-vs-worst vs FCFS-vs-worst scatter",
+    run=_registry_run,
+    render=render,
+))

@@ -18,6 +18,7 @@ from repro.core.variability import workload_variability
 from repro.experiments.common import ExperimentContext, format_table
 from repro.microarch.rates import RateTable
 from repro.util.stats import pearson
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Figure3Point", "Figure3Series", "compute_figure3", "run", "render"]
 
@@ -99,3 +100,16 @@ def render(series_list: list[Figure3Series]) -> str:
             )
         )
     return summary + "\n" + "\n".join(details)
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[Figure3Series]:
+    return run(context)
+
+
+register(Experiment(
+    name="figure3",
+    kind="figure",
+    title="Fig. 3 — linear-bottleneck error vs TP variability",
+    run=_registry_run,
+    render=render,
+))

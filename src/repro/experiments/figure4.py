@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.experiments.common import format_table
 from repro.queueing.mmk import MMKQueue
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Figure4Example", "CurvePoint", "compute_example", "compute_curves", "render"]
 
@@ -124,3 +125,21 @@ def render(example: Figure4Example, curve: list[CurvePoint]) -> str:
         ],
     )
     return header + "\n" + table
+
+
+def _registry_run(context, options: RunOptions) -> tuple:
+    return compute_example(), compute_curves()
+
+
+def _registry_render(result: tuple) -> str:
+    example, curves = result
+    return render(example, curves)
+
+
+register(Experiment(
+    name="figure4",
+    kind="figure",
+    title="Fig. 4 — M/M/4 turnaround vs arrival rate",
+    run=_registry_run,
+    render=_registry_render,
+))

@@ -21,6 +21,7 @@ from repro.core.workload import Workload
 from repro.experiments.common import ExperimentContext, format_table, sample_workloads
 from repro.microarch.rates import RateTable
 from repro.queueing.experiment import run_latency_experiment
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Figure5Cell", "compute_figure5", "run", "render", "SCHEDULERS", "LOADS"]
 
@@ -134,3 +135,20 @@ def render(cells: list[Figure5Cell]) -> str:
             for c in cells
         ],
     )
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[Figure5Cell]:
+    return run(
+        context,
+        max_workloads=options.workloads(24),
+        seed=options.seed_for("figure5"),
+    )
+
+
+register(Experiment(
+    name="figure5",
+    kind="figure",
+    title="Fig. 5 — TT / utilization / empty fraction, 4 schedulers",
+    run=_registry_run,
+    render=render,
+))

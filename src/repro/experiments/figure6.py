@@ -19,6 +19,7 @@ from repro.core.workload import Workload
 from repro.experiments.common import ExperimentContext, format_table, sample_workloads
 from repro.microarch.rates import RateTable
 from repro.queueing.experiment import run_saturation_experiment
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Figure6Point", "compute_figure6", "run", "render"]
 
@@ -119,3 +120,20 @@ def render(points: list[Figure6Point]) -> str:
         f"{sum(p.lp_maximum_relative for p in points) / n:.3f}"
     )
     return table + means
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[Figure6Point]:
+    return run(
+        context,
+        max_workloads=options.workloads(30),
+        seed=options.seed_for("figure6"),
+    )
+
+
+register(Experiment(
+    name="figure6",
+    kind="figure",
+    title="Fig. 6 — achieved saturation throughput per workload",
+    run=_registry_run,
+    render=render,
+))

@@ -18,6 +18,7 @@ from repro.core.workload import Workload
 from repro.experiments.common import ExperimentContext, format_table, sample_workloads
 from repro.microarch.rates import RateTable
 from repro.queueing.makespan import run_makespan_experiment
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["MakespanCell", "compute_makespan", "run", "render", "SCHEDULERS"]
 
@@ -119,3 +120,20 @@ def render(cells: list[MakespanCell]) -> str:
         "against judging symbiotic scheduling by\nsmall-set makespans "
         "(and why LJF is competitive here without knowing any rates)."
     )
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[MakespanCell]:
+    return run(
+        context,
+        max_workloads=options.workloads(10),
+        seed=options.seed_for("makespan"),
+    )
+
+
+register(Experiment(
+    name="makespan",
+    kind="analysis",
+    title="Sec. II — small-set makespan (LJF vs symbiosis-aware)",
+    run=_registry_run,
+    render=render,
+))

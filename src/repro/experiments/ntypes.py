@@ -17,6 +17,7 @@ from repro.core.workload import all_workloads
 from repro.experiments.common import ExperimentContext, format_table, sample_workloads
 from repro.microarch.benchmarks import BENCHMARK_NAMES
 from repro.microarch.rates import RateTable
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["NTypesPoint", "compute_ntypes", "run", "render"]
 
@@ -93,3 +94,16 @@ def render(points: list[NTypesPoint]) -> str:
             for p in points
         ],
     )
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[NTypesPoint]:
+    return run(context, seed=options.seed_for("ntypes"))
+
+
+register(Experiment(
+    name="ntypes",
+    kind="analysis",
+    title="Sec. V.B — optimal gain vs number of job types",
+    run=_registry_run,
+    render=render,
+))

@@ -1,14 +1,24 @@
-"""Command-line entry point: regenerate any paper artifact.
+"""Registry-driven CLI: regenerate any paper artifact, in parallel.
 
 Usage::
 
-    python -m repro.experiments.runner --list
-    python -m repro.experiments.runner figure1
-    python -m repro.experiments.runner all --max-workloads 60
+    python -m repro.experiments --list
+    python -m repro.experiments figure1
+    python -m repro.experiments all --jobs 4 --results-dir results/
+    python -m repro.experiments figure5 figure6 --max-workloads 8
 
-Each artifact prints the same rows/series the paper reports.  The full
-495-workload run of the analytic artifacts (table1/figure1/figure2/
-figure3/table2/ntypes/fairness) takes tens of seconds; the
+Experiments come from :mod:`repro.experiments.registry` (one entry per
+paper figure/table/section).  All runs share one persisted
+coschedule-rate cache (default ``.repro-cache/rates.json``; disable
+with ``--no-cache``): the first run pays for the microarch simulator
+sweep, every later run — including each ``--jobs`` worker process —
+reloads the entries and skips the simulator entirely.  Cache hit/miss
+statistics are printed after every artifact, and ``--results-dir``
+additionally emits one structured JSON file per artifact for the
+benchmark suite.
+
+The full 495-workload run of the analytic artifacts (table1/figure1/
+figure2/figure3/table2/ntypes/fairness) takes tens of seconds; the
 discrete-event artifacts (figure5/figure6) and the four-machine policy
 study (section7) use deterministic workload subsamples by default.
 """
@@ -16,150 +26,194 @@ study (section7) use deterministic workload subsamples by default.
 from __future__ import annotations
 
 import argparse
+import json
+import multiprocessing
 import sys
 import time
-from typing import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.experiments import (
-    common,
-    fairness_cf,
-    figure1,
-    figure2,
-    figure3,
-    figure4,
-    figure5,
-    figure6,
-    makespan_exp,
-    ntypes,
-    section7,
-    skew_exp,
-    summary,
-    table1,
-    table2,
-    units_exp,
-)
+from repro.experiments import common, registry
+from repro.experiments.registry import RunOptions
 
-__all__ = ["main", "ARTIFACTS"]
+__all__ = [
+    "DEFAULT_CACHE_PATH",
+    "ExperimentOutcome",
+    "build_context",
+    "run_experiment",
+    "main",
+]
+
+DEFAULT_CACHE_PATH = Path(".repro-cache") / "rates.json"
 
 
-def _run_table1(context, args) -> str:
-    return table1.render(table1.compute_table1(context))
+@dataclass
+class ExperimentOutcome:
+    """Everything one experiment run produced (picklable, so parallel
+    workers can ship it back to the parent process)."""
 
-
-def _run_figure1(context, args) -> str:
-    return figure1.render(figure1.run(context))
-
-
-def _run_figure2(context, args) -> str:
-    return figure2.render(figure2.run(context))
-
-
-def _run_figure3(context, args) -> str:
-    return figure3.render(figure3.run(context))
-
-
-def _run_table2(context, args) -> str:
-    return table2.render(table2.run(context))
-
-
-def _run_figure4(context, args) -> str:
-    return figure4.render(figure4.compute_example(), figure4.compute_curves())
-
-
-def _run_figure5(context, args) -> str:
-    cells = figure5.run(
-        context,
-        max_workloads=min(args.max_workloads or 24, 24)
-        if args.quick
-        else (args.max_workloads or 24),
-        seed=args.seed,
+    name: str
+    kind: str
+    title: str
+    text: str
+    rows: object
+    seconds: float
+    cache_stats: dict[str, object]
+    new_entries: dict[str, dict[tuple[str, ...], dict[str, float]]] = field(
+        default_factory=dict
     )
-    return figure5.render(cells)
+
+    def as_json(self, options: RunOptions) -> dict[str, object]:
+        """The structured payload written by ``--results-dir``."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "title": self.title,
+            "seconds": round(self.seconds, 3),
+            "seed": options.seed_for(self.name),
+            "max_workloads": options.max_workloads,
+            "quick": options.quick,
+            "cache_stats": self.cache_stats,
+            "rows": self.rows,
+        }
 
 
-def _run_figure6(context, args) -> str:
-    points = figure6.run(
-        context, max_workloads=args.max_workloads or 30, seed=args.seed
+def build_context(
+    options: RunOptions, cache_path: str | Path | None
+) -> common.ExperimentContext:
+    """One shared context for a batch of experiments."""
+    return common.default_context(
+        max_workloads=options.max_workloads,
+        seed=options.seed,
+        cache_path=cache_path,
     )
-    return figure6.render(points)
 
 
-def _run_section7(context, args) -> str:
-    summary = section7.run(
-        context, max_workloads=args.max_workloads, seed=args.seed
+def run_experiment(
+    name: str, context: common.ExperimentContext, options: RunOptions
+) -> ExperimentOutcome:
+    """Run one registered experiment and package its outcome.
+
+    ``cache_stats`` hits/misses are the *delta* for this experiment, so
+    cumulative stats on a shared context don't blur per-artifact
+    numbers; ``preloaded`` stays session-scoped (preloading happens
+    once, when the context is built).
+    """
+    experiment = registry.get(name)
+    before = context.cache_stats()
+    start = time.perf_counter()
+    result = experiment.run(context, options)
+    seconds = time.perf_counter() - start
+    after = context.cache_stats()
+    stats = common.CacheStats(
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        preloaded=after.preloaded,
+        label=after.label,
+    ).as_dict()
+    return ExperimentOutcome(
+        name=name,
+        kind=experiment.kind,
+        title=experiment.title,
+        text=experiment.render(result),
+        rows=registry.to_jsonable(result),
+        seconds=seconds,
+        cache_stats=stats,
+        new_entries=context.drain_new_entries(),
     )
-    return section7.render(summary)
 
 
-def _run_ntypes(context, args) -> str:
-    return ntypes.render(ntypes.run(context, seed=args.seed))
+# ----------------------------------------------------------------------
+# Parallel workers: each process builds its own context preloaded from
+# the shared cache file, runs the assigned experiments, and ships the
+# freshly computed entries back for the parent to merge and persist.
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: common.ExperimentContext | None = None
+_WORKER_OPTIONS: RunOptions | None = None
 
 
-def _run_fairness(context, args) -> str:
-    outcomes = fairness_cf.run(
-        context, max_workloads=args.max_workloads or 60, seed=args.seed
+def _worker_init(cache_path: str | None, options: RunOptions) -> None:
+    global _WORKER_CONTEXT, _WORKER_OPTIONS
+    _WORKER_CONTEXT = build_context(options, cache_path)
+    _WORKER_OPTIONS = options
+
+
+def _worker_run(name: str) -> ExperimentOutcome:
+    assert _WORKER_CONTEXT is not None and _WORKER_OPTIONS is not None
+    return run_experiment(name, _WORKER_CONTEXT, _WORKER_OPTIONS)
+
+
+def _run_parallel(
+    names: list[str],
+    options: RunOptions,
+    cache_path: Path | None,
+    jobs: int,
+) -> list[ExperimentOutcome]:
+    mp = multiprocessing.get_context("spawn")
+    with mp.Pool(
+        processes=min(jobs, len(names)),
+        initializer=_worker_init,
+        initargs=(str(cache_path) if cache_path else None, options),
+    ) as pool:
+        return pool.map(_worker_run, names)
+
+
+def _print_outcome(outcome: ExperimentOutcome) -> None:
+    print(f"==== {outcome.name} " + "=" * max(0, 60 - len(outcome.name)))
+    print(outcome.text)
+    stats = outcome.cache_stats
+    print(
+        f"rate cache: {stats['hits']} hits, {stats['misses']} misses "
+        f"({stats['hit_rate']:.1%} hit rate, {stats['preloaded']} preloaded)"
     )
-    return fairness_cf.render(outcomes)
+    print(f"---- {outcome.name} done in {outcome.seconds:.1f}s\n")
 
 
-def _run_makespan(context, args) -> str:
-    cells = makespan_exp.run(
-        context, max_workloads=args.max_workloads or 10, seed=args.seed
-    )
-    return makespan_exp.render(cells)
+def _write_results(
+    outcomes: list[ExperimentOutcome],
+    options: RunOptions,
+    results_dir: Path,
+) -> None:
+    results_dir.mkdir(parents=True, exist_ok=True)
+    for outcome in outcomes:
+        path = results_dir / f"{outcome.name}.json"
+        with path.open("w") as fp:
+            json.dump(outcome.as_json(options), fp, indent=2, sort_keys=True)
+    print(f"wrote {len(outcomes)} result file(s) to {results_dir}/")
 
 
-def _run_units(context, args) -> str:
-    comparisons = units_exp.run(
-        context, max_workloads=args.max_workloads or 20, seed=args.seed
-    )
-    return units_exp.render(comparisons)
-
-
-def _run_summary(context, args) -> str:
-    return summary.render(summary.compute_summary(context))
-
-
-def _run_skew(context, args) -> str:
-    points = skew_exp.run(
-        context, max_workloads=args.max_workloads or 30, seed=args.seed
-    )
-    return skew_exp.render(points)
-
-
-ARTIFACTS: dict[str, Callable] = {
-    "table1": _run_table1,
-    "figure1": _run_figure1,
-    "figure2": _run_figure2,
-    "figure3": _run_figure3,
-    "table2": _run_table2,
-    "figure4": _run_figure4,
-    "figure5": _run_figure5,
-    "figure6": _run_figure6,
-    "section7": _run_section7,
-    "ntypes": _run_ntypes,
-    "fairness": _run_fairness,
-    "makespan": _run_makespan,
-    "units": _run_units,
-    "skew": _run_skew,
-    "summary": _run_summary,
-}
+def _list_experiments() -> None:
+    print("available experiments:")
+    width = max(len(e.name) for e in registry.all_experiments())
+    for experiment in registry.all_experiments():
+        print(
+            f"  {experiment.name.ljust(width)}  "
+            f"[{experiment.kind}] {experiment.title}"
+        )
+    print("  all")
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="python -m repro.experiments",
         description="Regenerate tables/figures from 'Revisiting Symbiotic "
         "Job Scheduling' (ISPASS 2015).",
     )
     parser.add_argument(
-        "artifact",
-        nargs="?",
-        default=None,
-        help="artifact name, or 'all'",
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment names (see --list), or 'all'",
     )
-    parser.add_argument("--list", action="store_true", help="list artifacts")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; each shares the persisted rate cache",
+    )
     parser.add_argument(
         "--max-workloads",
         type=int,
@@ -173,31 +227,79 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small subsamples everywhere (smoke-test mode)",
     )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=DEFAULT_CACHE_PATH,
+        metavar="FILE",
+        help="persisted rate-cache file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without the persisted rate cache",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write one structured JSON result file per experiment",
+    )
     args = parser.parse_args(argv)
 
-    if args.list or args.artifact is None:
-        print("available artifacts:")
-        for name in ARTIFACTS:
-            print(f"  {name}")
-        print("  all")
+    registry.discover()
+    if args.list or not args.experiments:
+        _list_experiments()
         return 0
 
-    names = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    unknown = [n for n in names if n not in ARTIFACTS]
+    names = (
+        registry.names()
+        if args.experiments == ["all"]
+        else list(dict.fromkeys(args.experiments))
+    )
+    unknown = [n for n in names if n not in registry.names()]
     if unknown:
-        print(f"unknown artifact(s): {unknown}", file=sys.stderr)
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
         return 2
 
     max_workloads = args.max_workloads
     if args.quick and max_workloads is None:
         max_workloads = 30
-    context = common.default_context(max_workloads=max_workloads, seed=args.seed)
+    options = RunOptions(
+        max_workloads=max_workloads, seed=args.seed, quick=args.quick
+    )
+    cache_path: Path | None = None if args.no_cache else args.cache
 
-    for name in names:
-        start = time.time()
-        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
-        print(ARTIFACTS[name](context, args))
-        print(f"---- {name} done in {time.time() - start:.1f}s\n")
+    start = time.perf_counter()
+    if args.jobs > 1 and len(names) > 1:
+        outcomes = _run_parallel(names, options, cache_path, args.jobs)
+        for outcome in outcomes:
+            _print_outcome(outcome)
+        if cache_path is not None:
+            store = common.RateCacheStore(cache_path)
+            for outcome in outcomes:
+                for section, entries in outcome.new_entries.items():
+                    store.merge(section, entries)
+            saved = store.save()
+            print(f"rate cache: saved {saved} entries to {cache_path}")
+    else:
+        context = build_context(options, cache_path)
+        outcomes = []
+        for name in names:
+            outcome = run_experiment(name, context, options)
+            _print_outcome(outcome)
+            outcomes.append(outcome)
+        saved = context.save_cache()
+        if saved is not None:
+            print(f"rate cache: saved {saved} entries to {cache_path}")
+
+    if args.results_dir is not None:
+        _write_results(outcomes, options, args.results_dir)
+    print(f"total: {len(names)} experiment(s) in {time.perf_counter() - start:.1f}s")
     return 0
 
 

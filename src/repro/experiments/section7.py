@@ -23,6 +23,7 @@ from repro.core.policy_study import (
 from repro.core.workload import Workload
 from repro.experiments.common import ExperimentContext, format_table, sample_workloads
 from repro.microarch.config import FetchPolicy, RobPolicy
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Section7Summary", "compute_section7", "run", "render"]
 
@@ -109,3 +110,20 @@ def render(summary: Section7Summary) -> str:
         f"{summary.flip_fraction:.1%}",
     ]
     return "\n".join(lines)
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> Section7Summary:
+    return run(
+        context,
+        max_workloads=options.workloads(None),
+        seed=options.seed_for("section7"),
+    )
+
+
+register(Experiment(
+    name="section7",
+    kind="section",
+    title="Sec. VII — fetch/ROB policy study",
+    run=_registry_run,
+    render=render,
+))

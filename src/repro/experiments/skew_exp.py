@@ -19,6 +19,7 @@ from repro.core.optimal import optimal_throughput
 from repro.core.workload import Workload
 from repro.experiments.common import ExperimentContext, format_table, sample_workloads
 from repro.microarch.rates import RateTable
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["SkewPoint", "compute_skew", "run", "render", "geometric_weights"]
 
@@ -107,3 +108,20 @@ def render(points: list[SkewPoint]) -> str:
         "justification for calling the equal-work\nassumption "
         "'advantageous to symbiotic scheduling'."
     )
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[SkewPoint]:
+    return run(
+        context,
+        max_workloads=options.workloads(30),
+        seed=options.seed_for("skew"),
+    )
+
+
+register(Experiment(
+    name="skew",
+    kind="analysis",
+    title="Sec. III-D — work-share skew vs symbiotic headroom",
+    run=_registry_run,
+    render=render,
+))

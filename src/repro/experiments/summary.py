@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.experiments.common import ExperimentContext, format_table
 from repro.experiments.figure1 import compute_figure1
 from repro.experiments.figure2 import compute_figure2
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["HeadlineNumbers", "compute_summary", "render"]
 
@@ -100,3 +101,16 @@ def render(numbers: list[HeadlineNumbers]) -> str:
         "scheduling headroom\nis a small fraction of the underlying "
         "variability on both machines."
     )
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[HeadlineNumbers]:
+    return compute_summary(context)
+
+
+register(Experiment(
+    name="summary",
+    kind="analysis",
+    title="Abstract — headline digest, measured vs paper",
+    run=_registry_run,
+    render=render,
+))

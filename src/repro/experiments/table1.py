@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentContext, format_table
 from repro.microarch.benchmarks import default_roster
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Table1Row", "compute_table1", "render"]
 
@@ -63,3 +64,16 @@ def render(rows: list[Table1Row]) -> str:
             for r in rows
         ],
     )
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[Table1Row]:
+    return compute_table1(context)
+
+
+register(Experiment(
+    name="table1",
+    kind="table",
+    title="Table I — benchmark roster",
+    run=_registry_run,
+    render=render,
+))

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.core.heterogeneity import heterogeneity_table
 from repro.experiments.common import ExperimentContext, format_table
 from repro.microarch.rates import RateTable
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["Table2Row", "compute_table2", "run", "render"]
 
@@ -88,3 +89,16 @@ def render(rows: list[Table2Row]) -> str:
             for r in rows
         ],
     )
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[Table2Row]:
+    return run(context)
+
+
+register(Experiment(
+    name="table2",
+    kind="table",
+    title="Table II — coschedule fractions by heterogeneity",
+    run=_registry_run,
+    render=render,
+))

@@ -16,6 +16,7 @@ from repro.core.units import compare_units
 from repro.core.workload import Workload
 from repro.experiments.common import ExperimentContext, format_table, sample_workloads
 from repro.microarch.rates import RateTable
+from repro.experiments.registry import Experiment, RunOptions, register
 
 __all__ = ["UnitComparison", "compute_units", "run", "render"]
 
@@ -76,3 +77,20 @@ def render(comparisons: list[UnitComparison]) -> str:
         f"raw instruction +{mean_i:.1%}\n"
         "(the paper's check: conclusions are unit-independent)\n\n" + table
     )
+
+
+def _registry_run(context: ExperimentContext, options: RunOptions) -> list[UnitComparison]:
+    return run(
+        context,
+        max_workloads=options.workloads(20),
+        seed=options.seed_for("units"),
+    )
+
+
+register(Experiment(
+    name="units",
+    kind="analysis",
+    title="Sec. III-B — raw-instruction unit-of-work check",
+    run=_registry_run,
+    render=render,
+))

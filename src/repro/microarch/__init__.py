@@ -37,6 +37,11 @@ from repro.microarch.config import (
 )
 from repro.microarch.simulator import SimulationResult, simulate_coschedule
 from repro.microarch.rates import RateTable
+from repro.microarch.rate_cache import (
+    CachedRateSource,
+    CacheStats,
+    RateCacheStore,
+)
 
 __all__ = [
     "JobTypeParams",
@@ -50,4 +55,7 @@ __all__ = [
     "SimulationResult",
     "simulate_coschedule",
     "RateTable",
+    "CachedRateSource",
+    "CacheStats",
+    "RateCacheStore",
 ]

@@ -1,0 +1,501 @@
+"""Memoized, persistable coschedule-rate cache.
+
+The symbiotic scheduler re-evaluates per-coschedule execution rates at
+every scheduling event, and every figure/table experiment asks the
+microarch simulator for the same ``r_b(s)`` entries over and over.
+:class:`~repro.microarch.rates.RateTable` already memoizes within one
+object, but nothing shares those entries *across* rate sources,
+processes, or repository runs.  This module adds that layer:
+
+* :class:`CachedRateSource` — wraps **any**
+  :class:`~repro.microarch.rates.RateSource` (a live
+  :class:`~repro.microarch.rates.RateTable`, a frozen
+  :class:`~repro.microarch.rates.TableRates`, a test double, ...),
+  keyed on canonical coschedule tuples, with hit/miss statistics, an
+  optional precompute-all-coschedules pass, and JSON persistence.
+  Unknown attributes delegate to the wrapped source, so a wrapped
+  :class:`RateTable` still exposes ``machine``, ``alone_ipc``, etc.
+* :class:`RateCacheStore` — a single JSON file holding one entry
+  section per machine configuration, so one persisted sweep (the
+  analogue of the paper's 1,365-combination Sniper run) serves the SMT
+  and quad-core rate tables of every experiment, benchmark session,
+  and parallel worker process.
+* :class:`CacheStats` — hit/miss/preload accounting with a one-line
+  :meth:`~CacheStats.render` used by the experiment runner CLI.
+
+A worked example (see ``docs/architecture.md`` for the full data
+flow)::
+
+    from repro.microarch.config import smt_machine
+    from repro.microarch.rates import RateTable
+    from repro.microarch.rate_cache import RateCacheStore
+
+    store = RateCacheStore("rates.json")      # empty on first run
+    rates = store.wrap(RateTable(smt_machine()))
+    rates.type_rates(("mcf", "hmmer"))        # miss -> simulate
+    rates.type_rates(("hmmer", "mcf"))        # hit (canonical key)
+    store.save()                              # persist for next process
+    print(rates.stats.render())
+    # rate cache [smt4]: 1 hits, 1 misses (50.0% hit rate), 0 preloaded
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Mapping, Sequence
+
+from repro.errors import WorkloadError
+from repro.microarch.rates import RateSource, canonical_coschedule
+from repro.util.multiset import multisets
+
+__all__ = ["CacheStats", "CachedRateSource", "RateCacheStore"]
+
+_KEY_SEPARATOR = "|"
+
+
+def _join_key(key: tuple[str, ...]) -> str:
+    for name in key:
+        if _KEY_SEPARATOR in name:
+            raise WorkloadError(
+                f"job type {name!r} contains the reserved separator "
+                f"{_KEY_SEPARATOR!r}"
+            )
+    return _KEY_SEPARATOR.join(key)
+
+
+def _split_key(key: str) -> tuple[str, ...]:
+    # The empty coschedule serializes to "" and must round-trip to (),
+    # not ("",).
+    return tuple(key.split(_KEY_SEPARATOR)) if key else ()
+
+
+#: Everything a malformed-but-valid-JSON cache payload can raise while
+#: being normalized; loaders catch these and start cold instead.
+_LOAD_ERRORS = (OSError, ValueError, TypeError, AttributeError, KeyError)
+
+
+def _parse_entries(raw: object) -> dict[tuple[str, ...], dict[str, float]]:
+    """Normalize one persisted entry mapping; raises on bad shapes."""
+    if not isinstance(raw, dict):
+        raise ValueError(f"entries must be a mapping, got {type(raw).__name__}")
+    entries: dict[tuple[str, ...], dict[str, float]] = {}
+    for key, rates in raw.items():
+        if isinstance(rates, dict) and "type_rates" in rates:
+            rates = rates["type_rates"]  # RateTable.to_json nesting
+        entries[_split_key(key)] = {
+            str(b): float(r) for b, r in rates.items()
+        }
+    return entries
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`CachedRateSource`.
+
+    Attributes:
+        hits: ``type_rates`` calls answered from the memo.
+        misses: calls that fell through to the wrapped source.
+        preloaded: entries seeded from persistence (or a warm sibling)
+            before the first lookup.
+        label: short origin tag (usually the machine name) used in
+            :meth:`render`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    preloaded: int = 0
+    label: str = ""
+
+    @property
+    def lookups(self) -> int:
+        """Total ``type_rates`` lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the memo (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Elementwise sum (labels joined); used to aggregate workers."""
+        labels = sorted({s for s in (self.label, other.label) if s})
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            preloaded=self.preloaded + other.preloaded,
+            label="+".join(labels),
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly form (emitted in runner result files)."""
+        return {
+            "label": self.label,
+            "hits": self.hits,
+            "misses": self.misses,
+            "preloaded": self.preloaded,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        tag = f" [{self.label}]" if self.label else ""
+        return (
+            f"rate cache{tag}: {self.hits} hits, {self.misses} misses "
+            f"({self.hit_rate:.1%} hit rate), {self.preloaded} preloaded"
+        )
+
+
+class CachedRateSource:
+    """A memoizing, persistable wrapper around any :class:`RateSource`.
+
+    Lookups are keyed on :func:`canonical_coschedule`, so permutations
+    of the same multiset share one entry.  ``per_job_rate`` and
+    ``instantaneous_throughput`` are derived from the memoized
+    ``type_rates`` entry, which means even bare sources that only
+    implement the minimal protocol gain both helpers.
+
+    Args:
+        source: the wrapped rate source.
+        entries: optional pre-seeded ``{coschedule: {type: rate}}``
+            mapping (counted as ``preloaded`` in the stats).
+        stats: optional externally owned stats object (lets several
+            wrappers share one counter).
+        label: stats label; defaults to the source machine's name.
+    """
+
+    def __init__(
+        self,
+        source: RateSource,
+        *,
+        entries: Mapping[Sequence[str], Mapping[str, float]] | None = None,
+        stats: CacheStats | None = None,
+        label: str | None = None,
+    ) -> None:
+        self._source = source
+        self._entries: dict[tuple[str, ...], dict[str, float]] = {}
+        self._fresh: set[tuple[str, ...]] = set()
+        if label is None:
+            machine = getattr(source, "machine", None)
+            label = getattr(machine, "name", "") if machine else ""
+        self.stats = stats if stats is not None else CacheStats(label=label)
+        if entries:
+            for coschedule, rates in entries.items():
+                key = canonical_coschedule(coschedule)
+                self._entries[key] = {
+                    str(b): float(r) for b, r in rates.items()
+                }
+            self.stats.preloaded += len(self._entries)
+
+    # ------------------------------------------------------------------
+    # RateSource interface (memoized)
+    # ------------------------------------------------------------------
+    def type_rates(self, coschedule: Sequence[str]) -> dict[str, float]:
+        """Total WIPC per job type in ``coschedule`` (memoized)."""
+        key = canonical_coschedule(coschedule)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            entry = dict(self._source.type_rates(key))
+            self._entries[key] = entry
+            self._fresh.add(key)
+        else:
+            self.stats.hits += 1
+        return dict(entry)
+
+    def instantaneous_throughput(self, coschedule: Sequence[str]) -> float:
+        """``it(s)``: total WIPC of the coschedule."""
+        return sum(self.type_rates(coschedule).values())
+
+    def per_job_rate(self, coschedule: Sequence[str], name: str) -> float:
+        """WIPC of one job of type ``name`` in the coschedule."""
+        rates = self.type_rates(coschedule)
+        if name not in rates:
+            raise WorkloadError(
+                f"{name!r} not in coschedule {tuple(coschedule)}"
+            )
+        return rates[name] / Counter(coschedule)[name]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> RateSource:
+        """The wrapped rate source."""
+        return self._source
+
+    def coschedules(self) -> list[tuple[str, ...]]:
+        """All memoized coschedules, in canonical order."""
+        return sorted(self._entries)
+
+    def entries(self) -> dict[tuple[str, ...], dict[str, float]]:
+        """A copy of every memoized entry."""
+        return {key: dict(rates) for key, rates in self._entries.items()}
+
+    def new_entries(self) -> dict[tuple[str, ...], dict[str, float]]:
+        """Entries computed (missed) by *this* wrapper — the delta a
+        worker process ships back to the parent for merging."""
+        return {key: dict(self._entries[key]) for key in sorted(self._fresh)}
+
+    def drain_new_entries(self) -> dict[tuple[str, ...], dict[str, float]]:
+        """Like :meth:`new_entries`, but resets the fresh-set so the
+        next call only reports entries computed after this one.  Lets a
+        runner ship per-experiment deltas instead of re-shipping the
+        whole session's misses with every outcome."""
+        delta = self.new_entries()
+        self._fresh.clear()
+        return delta
+
+    def __getattr__(self, name: str):
+        # Delegate everything else (machine, roster, alone_ipc, ...) to
+        # the wrapped source so a cached RateTable keeps its full API.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._source, name)
+
+    # ------------------------------------------------------------------
+    # Bulk precomputation
+    # ------------------------------------------------------------------
+    def precompute(
+        self,
+        types: Sequence[str] | None = None,
+        *,
+        contexts: int | None = None,
+        sizes: Iterable[int] | None = None,
+    ) -> int:
+        """Fill the memo with every multiset of ``types`` and ``sizes``.
+
+        Defaults mirror :meth:`RateTable.precompute`: all roster types
+        of the wrapped source and all sizes ``1..contexts``.  Returns
+        the number of memoized entries afterwards.
+        """
+        if types is None:
+            roster = getattr(self._source, "roster", None)
+            if roster is None:
+                raise WorkloadError(
+                    "the wrapped source has no roster; pass types explicitly"
+                )
+            types = tuple(roster)
+        if sizes is None:
+            if contexts is None:
+                machine = getattr(self._source, "machine", None)
+                contexts = getattr(machine, "contexts", None)
+            if contexts is None:
+                raise WorkloadError(
+                    "cannot infer coschedule sizes; pass contexts or sizes"
+                )
+            sizes = range(1, contexts + 1)
+        for size in sizes:
+            for combo in multisets(sorted(types), size):
+                self.type_rates(combo)
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Persistence (format-compatible with TableRates.to_json)
+    # ------------------------------------------------------------------
+    def to_json(self, fp: IO[str]) -> None:
+        """Serialize every memoized entry as JSON."""
+        machine = getattr(self._source, "machine", None)
+        payload = {
+            "machine": getattr(machine, "name", None),
+            "entries": {
+                _join_key(key): rates
+                for key, rates in sorted(self._entries.items())
+            },
+        }
+        json.dump(payload, fp, indent=2, sort_keys=True)
+
+    def save(self, path: str | Path) -> None:
+        """Write the memo to ``path`` (parent directories created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fp:
+            self.to_json(fp)
+
+    @classmethod
+    def from_json(cls, fp: IO[str], source: RateSource) -> "CachedRateSource":
+        """Wrap ``source`` with entries loaded from a JSON stream.
+
+        If both the payload and the source name a machine and the names
+        disagree, the entries are rejected (warn + cold start): serving
+        one machine's rates for another would silently corrupt every
+        downstream analysis.
+        """
+        payload = json.load(fp)
+        saved_machine = payload.get("machine")
+        machine = getattr(source, "machine", None)
+        source_machine = getattr(machine, "name", None) if machine else None
+        if saved_machine and source_machine and saved_machine != source_machine:
+            print(
+                f"warning: rate cache was saved for machine "
+                f"{saved_machine!r}, not {source_machine!r}; starting cold",
+                file=sys.stderr,
+            )
+            return cls(source)
+        return cls(source, entries=_parse_entries(payload.get("entries", {})))
+
+    @classmethod
+    def open(cls, source: RateSource, path: str | Path) -> "CachedRateSource":
+        """Wrap ``source``, preloading from ``path`` when it exists.
+
+        An unreadable or corrupt file is treated as a cold start (with
+        a warning) — a cache must never be the reason a run crashes.
+        """
+        path = Path(path)
+        if path.exists():
+            try:
+                with path.open() as fp:
+                    return cls.from_json(fp, source)
+            except _LOAD_ERRORS as exc:
+                print(
+                    f"warning: ignoring unreadable rate cache {path}: {exc!r}",
+                    file=sys.stderr,
+                )
+        return cls(source)
+
+
+class RateCacheStore:
+    """One JSON file holding rate entries for several machines.
+
+    The file maps a machine name (the *section*) to its persisted
+    entries, so a single ``.repro-cache/rates.json`` serves both the
+    SMT and quad-core rate tables of every experiment::
+
+        {"version": 1,
+         "sections": {"smt4": {"hmmer|mcf": {"hmmer": 0.9, ...}}, ...}}
+
+    ``wrap()`` hands out :class:`CachedRateSource` wrappers preloaded
+    from the matching section; ``save()`` collects everything the
+    wrappers have learned and rewrites the file atomically.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._sections: dict[str, dict[tuple[str, ...], dict[str, float]]] = {}
+        self._wrappers: list[tuple[str, CachedRateSource]] = []
+        if self.path.exists():
+            # A cache is disposable: a corrupt or unreadable file means
+            # a cold start, never a crash.
+            try:
+                with self.path.open() as fp:
+                    payload = json.load(fp)
+                sections = payload.get("sections", {})
+                if not sections and "entries" in payload:
+                    # Single-source file written by CachedRateSource.save
+                    # ({machine, entries}): migrate it into a section
+                    # rather than silently discarding the sweep.
+                    section = payload.get("machine")
+                    if section:
+                        sections = {section: payload["entries"]}
+                    else:
+                        print(
+                            f"warning: rate cache {self.path} has entries "
+                            "but no machine name; starting cold",
+                            file=sys.stderr,
+                        )
+                self._sections = {
+                    str(section): _parse_entries(entries)
+                    for section, entries in sections.items()
+                }
+            except _LOAD_ERRORS as exc:
+                print(
+                    f"warning: ignoring unreadable rate cache "
+                    f"{self.path}: {exc!r}",
+                    file=sys.stderr,
+                )
+                self._sections = {}
+
+    def sections(self) -> list[str]:
+        """Names of all persisted sections."""
+        return sorted(self._sections)
+
+    def entries_for(
+        self, section: str
+    ) -> dict[tuple[str, ...], dict[str, float]]:
+        """A copy of one section's entries (empty if absent)."""
+        return {
+            key: dict(rates)
+            for key, rates in self._sections.get(section, {}).items()
+        }
+
+    def wrap(
+        self, source: RateSource, *, section: str | None = None
+    ) -> CachedRateSource:
+        """A :class:`CachedRateSource` preloaded from ``section``.
+
+        The section defaults to the source machine's name.  The store
+        keeps a reference to the wrapper so :meth:`save` picks up
+        whatever it computes later.
+        """
+        if section is None:
+            machine = getattr(source, "machine", None)
+            section = getattr(machine, "name", None)
+            if section is None:
+                raise WorkloadError(
+                    "source has no machine name; pass section= explicitly"
+                )
+        wrapper = CachedRateSource(
+            source, entries=self._sections.get(section), label=section
+        )
+        self._wrappers.append((section, wrapper))
+        return wrapper
+
+    def merge(
+        self,
+        section: str,
+        entries: Mapping[Sequence[str], Mapping[str, float]],
+    ) -> int:
+        """Merge externally computed entries (e.g. from a worker
+        process) into a section; returns the section's new size."""
+        bucket = self._sections.setdefault(section, {})
+        for coschedule, rates in entries.items():
+            key = canonical_coschedule(coschedule)
+            bucket[key] = {str(b): float(r) for b, r in rates.items()}
+        return len(bucket)
+
+    def stats(self) -> CacheStats:
+        """Aggregated stats over every wrapper handed out."""
+        total = CacheStats()
+        for _, wrapper in self._wrappers:
+            total = total.merge(wrapper.stats)
+        return total
+
+    def total_entries(self) -> int:
+        """Number of persisted entries across all sections (as of the
+        last load/merge/save; live wrapper entries count after save)."""
+        return sum(len(entries) for entries in self._sections.values())
+
+    def save(self) -> int:
+        """Atomically rewrite the file; returns total entries saved."""
+        for section, wrapper in self._wrappers:
+            self.merge(section, wrapper.entries())
+        payload = {
+            "version": 1,
+            "sections": {
+                section: {
+                    _join_key(key): rates
+                    for key, rates in sorted(entries.items())
+                }
+                for section, entries in sorted(self._sections.items())
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return self.total_entries()

@@ -13,6 +13,10 @@ module provides:
 * :class:`TableRates` — an immutable in-memory table, used for JSON
   round-trips, counterfactual rate edits (Section V.D), and test
   doubles.
+
+For memoization that persists across rate sources, processes, and
+repository runs (plus hit/miss statistics), wrap any of these in
+:class:`repro.microarch.rate_cache.CachedRateSource`.
 """
 
 from __future__ import annotations
@@ -28,7 +32,13 @@ from repro.microarch.params import JobTypeParams
 from repro.microarch.simulator import SimulationResult, simulate_coschedule
 from repro.util.multiset import multisets
 
-__all__ = ["RateSource", "RateTable", "TableRates", "canonical_coschedule"]
+__all__ = [
+    "RateSource",
+    "RateTable",
+    "TableRates",
+    "canonical_coschedule",
+    "instantaneous_throughput",
+]
 
 
 def canonical_coschedule(names: Iterable[str]) -> tuple[str, ...]:
@@ -174,6 +184,10 @@ class RateTable:
             for combo in multisets(sorted(chosen), size):
                 self.result(combo)
         return len(self._results)
+
+    def cached_coschedules(self) -> list[tuple[str, ...]]:
+        """All coschedules simulated so far, in canonical order."""
+        return sorted(self._results)
 
     def snapshot(
         self, coschedules: Iterable[Sequence[str]]

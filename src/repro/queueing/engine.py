@@ -7,6 +7,13 @@ under the current rates or the next arrival.  After every event the
 scheduler re-selects the running set — context-switch costs are not
 modeled, matching the paper ("effects that are not modeled in this
 experiment").
+
+Per-coschedule job rates are memoized for the duration of a run: the
+engine asks the rate source once per distinct running multiset instead
+of once per event, which removes the dominant cost of long runs even
+when the source itself is uncached (and composes with the persistent
+:class:`~repro.microarch.rate_cache.CachedRateSource` layer, which
+removes the simulator cost across runs and processes).
 """
 
 from __future__ import annotations
@@ -25,18 +32,22 @@ __all__ = ["run_system"]
 _EPSILON = 1e-9
 
 
-def _per_job_rates(
-    rates: RateSource, running: list[Job]
-) -> dict[int, float]:
-    """Execution rate (work per unit time) of each running job."""
-    if not running:
+def _per_job_type_rates(
+    rates: RateSource, coschedule: tuple[str, ...]
+) -> dict[str, float]:
+    """Execution rate (work per unit time) of one job of each type.
+
+    Same-type jobs are symmetric, so the rate depends only on the
+    coschedule multiset — which is what makes per-run memoization by
+    coschedule exact.
+    """
+    if not coschedule:
         return {}
-    coschedule = tuple(sorted(job.job_type for job in running))
     type_rates = rates.type_rates(coschedule)
     counts = Counter(coschedule)
     return {
-        job.job_id: type_rates.get(job.job_type, 0.0) / counts[job.job_type]
-        for job in running
+        job_type: type_rates.get(job_type, 0.0) / count
+        for job_type, count in counts.items()
     }
 
 
@@ -80,6 +91,8 @@ def run_system(
     metrics = SystemMetrics()
     clock = 0.0
     last_arrival = -1.0
+    # Per-run memo: coschedule multiset -> per-job rate of each type.
+    rate_memo: dict[tuple[str, ...], dict[str, float]] = {}
 
     for _ in range(max_events):
         # Admit every arrival due now (handles batched time-zero jobs).
@@ -112,10 +125,14 @@ def run_system(
         if len(ids) != len(running):
             raise SimulationError(f"{scheduler.name} selected a job twice")
 
-        job_rates = _per_job_rates(rates, running)
+        coschedule = tuple(sorted(job.job_type for job in running))
+        job_rates = rate_memo.get(coschedule)
+        if job_rates is None:
+            job_rates = _per_job_type_rates(rates, coschedule)
+            rate_memo[coschedule] = job_rates
         next_completion = float("inf")
         for job in running:
-            rate = job_rates[job.job_id]
+            rate = job_rates[job.job_type]
             if rate <= 0.0:
                 raise SimulationError(
                     f"job {job.job_id} ({job.job_type}) has zero rate in "
@@ -140,10 +157,9 @@ def run_system(
         dt = max(dt, 0.0)
 
         # Advance time, progressing the running jobs.
-        coschedule = tuple(sorted(job.job_type for job in running))
         work = 0.0
         for job in running:
-            step = job_rates[job.job_id] * dt
+            step = job_rates[job.job_type] * dt
             job.progress(step)
             work += step
 

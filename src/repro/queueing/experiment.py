@@ -11,6 +11,12 @@ fraction of time the system is empty.
 rate effectively above the maximum throughput); the measured quantity is
 the achieved long-term throughput, which for MAXTP should match the LP
 maximum and for FCFS the TPCalc value.
+
+Both experiments accept any :class:`~repro.microarch.rates.RateSource`,
+including a :class:`~repro.microarch.rate_cache.CachedRateSource`
+wrapper — cached and uncached sources produce bit-identical
+:class:`~repro.queueing.system.SystemMetrics` (a property test pins
+this), so the persisted cache is a pure speedup.
 """
 
 from __future__ import annotations
@@ -37,9 +43,14 @@ __all__ = [
 def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
     if contexts is not None:
         return contexts
-    machine = getattr(rates, "machine", None)
-    if machine is not None:
-        return machine.contexts
+    # Walk through cache wrappers (anything exposing ``source``) until a
+    # machine-bearing source turns up.
+    probe: object | None = rates
+    while probe is not None:
+        machine = getattr(probe, "machine", None)
+        if machine is not None:
+            return machine.contexts
+        probe = getattr(probe, "source", None)
     raise WorkloadError(
         "cannot infer the number of contexts; pass contexts=K explicitly"
     )

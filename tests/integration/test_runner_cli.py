@@ -1,38 +1,155 @@
-"""Tests for the experiments CLI."""
+"""Tests for the registry-driven experiments CLI."""
 
 from __future__ import annotations
 
-from repro.experiments.runner import ARTIFACTS, main
+import json
+
+from repro.experiments import registry
+from repro.experiments.registry import RunOptions
+from repro.experiments.runner import main
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        names = registry.names()
+        assert len(names) == 15
+        for expected in ("table1", "figure1", "figure5", "section7",
+                         "fairness", "summary"):
+            assert expected in names
+
+    def test_get_returns_metadata(self):
+        experiment = registry.get("figure1")
+        assert experiment.kind == "figure"
+        assert "Fig. 1" in experiment.title
+
+    def test_seed_for_is_deterministic_and_distinct(self):
+        options = RunOptions(seed=7)
+        assert options.seed_for("figure5") == options.seed_for("figure5")
+        assert options.seed_for("figure5") != options.seed_for("figure6")
+        assert options.seed_for("figure5") != RunOptions(seed=8).seed_for(
+            "figure5"
+        )
+
+    def test_workloads_cap(self):
+        assert RunOptions().workloads(24) == 24
+        assert RunOptions(max_workloads=8).workloads(24) == 8
+        assert RunOptions(max_workloads=30, quick=True).workloads(24) == 24
+
+    def test_to_jsonable_handles_nesting(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Inner:
+            value: float
+
+        @dataclass
+        class Outer:
+            name: str
+            inner: Inner
+            table: dict
+
+        payload = registry.to_jsonable(
+            Outer("x", Inner(1.5), {("a", "b"): 2.0})
+        )
+        assert payload == {
+            "name": "x",
+            "inner": {"value": 1.5},
+            "table": {"a|b": 2.0},
+        }
+        json.dumps(payload)  # must be serializable
 
 
 class TestRunnerCli:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        for name in ARTIFACTS:
+        for name in registry.names():
             assert name in out
+        assert "[figure]" in out and "[table]" in out
 
     def test_no_args_lists(self, capsys):
         assert main([]) == 0
-        assert "available artifacts" in capsys.readouterr().out
+        assert "available experiments" in capsys.readouterr().out
 
-    def test_unknown_artifact(self, capsys):
-        assert main(["bogus"]) == 2
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus", "--no-cache"]) == 2
+
+    def test_bad_jobs(self, capsys):
+        assert main(["figure4", "--jobs", "0", "--no-cache"]) == 2
 
     def test_figure4_runs(self, capsys):
         """figure4 is pure analytics — cheap enough to run end to end."""
-        assert main(["figure4"]) == 0
+        assert main(["figure4", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "M/M/4 example" in out
         assert "16%" in out
+        assert "rate cache:" in out
 
     def test_table1_runs(self, capsys):
-        assert main(["table1"]) == 0
+        assert main(["table1", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "libquantum" in out
         assert "mcf" in out
 
     def test_fairness_quick_run(self, capsys):
-        assert main(["fairness", "--max-workloads", "4"]) == 0
+        assert main(["fairness", "--max-workloads", "4", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "hetero-coschedule time" in out
+
+    def test_cache_round_trip_second_run_all_hits(self, tmp_path, capsys):
+        """The persisted cache makes the second run simulator-free."""
+        cache = tmp_path / "rates.json"
+        args = ["fairness", "--max-workloads", "3", "--cache", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert cache.exists()
+        assert "misses" in first and "saved" in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second
+        assert "100.0% hit rate" in second
+
+    def test_results_dir_emits_structured_json(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        cache = tmp_path / "rates.json"
+        assert main([
+            "figure4", "table1",
+            "--cache", str(cache),
+            "--results-dir", str(results),
+        ]) == 0
+        files = sorted(p.name for p in results.glob("*.json"))
+        assert files == ["figure4.json", "table1.json"]
+        payload = json.loads((results / "table1.json").read_text())
+        assert payload["name"] == "table1"
+        assert payload["kind"] == "table"
+        assert "cache_stats" in payload
+        assert isinstance(payload["rows"], list) and payload["rows"]
+
+    def test_parallel_jobs_share_cache(self, tmp_path, capsys):
+        """--jobs fans out to worker processes that merge into one
+        persisted cache file."""
+        cache = tmp_path / "rates.json"
+        assert main([
+            "fairness", "units",
+            "--max-workloads", "2",
+            "--jobs", "2",
+            "--cache", str(cache),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "==== fairness" in out and "==== units" in out
+        assert cache.exists()
+        sections = json.loads(cache.read_text())["sections"]
+        assert "smt4" in sections and sections["smt4"]
+
+        # A sequential rerun is served entirely from the merged cache.
+        assert main([
+            "fairness", "--max-workloads", "2", "--cache", str(cache),
+        ]) == 0
+        assert "0 misses" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        """python -m repro.experiments resolves to this CLI."""
+        import repro.experiments.__main__ as entry
+
+        assert entry.main is main

@@ -11,6 +11,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.workload import Workload
+from repro.microarch.rate_cache import CachedRateSource
 from repro.microarch.rates import TableRates
 from repro.queueing.engine import run_system
 from repro.queueing.job import Job
@@ -111,3 +112,23 @@ class TestEngineProperties:
         )
         assert a.work_done == pytest.approx(b.work_done)
         assert a.measured_time == pytest.approx(b.measured_time)
+
+    @given(job_streams, scheduler_names)
+    @settings(max_examples=50, deadline=None)
+    def test_cached_rates_metrics_identical(self, stream, name):
+        """Wrapping the rate source in a CachedRateSource must be a
+        pure speedup: bit-identical SystemMetrics, every lookup served
+        through the cache."""
+        uncached = run_system(
+            RATES,
+            make_scheduler(name, RATES, 2, workload=AB),
+            build_jobs(stream),
+        )
+        cached_rates = CachedRateSource(RATES)
+        cached = run_system(
+            cached_rates,
+            make_scheduler(name, cached_rates, 2, workload=AB),
+            build_jobs(stream),
+        )
+        assert cached == uncached
+        assert cached_rates.stats.lookups > 0

@@ -1,0 +1,327 @@
+"""Unit tests for the memoized coschedule-rate cache."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.microarch.config import smt_machine
+from repro.microarch.rate_cache import (
+    CachedRateSource,
+    CacheStats,
+    RateCacheStore,
+)
+from repro.microarch.rates import RateTable, TableRates
+from repro.util.multiset import multisets
+
+
+def small_table() -> TableRates:
+    """Rates for all multisets of {A, B} up to size 2."""
+    per_job = {"A": 1.0, "B": 0.5}
+    table = {}
+    for size in (1, 2):
+        for cos in multisets(("A", "B"), size):
+            table[cos] = {b: per_job[b] * cos.count(b) * 0.9 for b in set(cos)}
+    return TableRates(table)
+
+
+class CountingSource:
+    """Minimal RateSource that counts delegated calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def type_rates(self, coschedule):
+        self.calls += 1
+        return self.inner.type_rates(coschedule)
+
+
+class TestCacheStats:
+    def test_hit_rate_and_render(self):
+        stats = CacheStats(hits=3, misses=1, preloaded=2, label="smt4")
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        line = stats.render()
+        assert "smt4" in line and "3 hits" in line and "1 misses" in line
+
+    def test_idle_hit_rate_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(hits=1, label="a").merge(
+            CacheStats(misses=2, preloaded=3, label="b")
+        )
+        assert (merged.hits, merged.misses, merged.preloaded) == (1, 2, 3)
+        assert merged.label == "a+b"
+
+    def test_as_dict_roundtrips_through_json(self):
+        payload = json.loads(json.dumps(CacheStats(hits=5).as_dict()))
+        assert payload["hits"] == 5
+
+
+class TestCachedRateSource:
+    def test_hit_miss_accounting(self):
+        source = CountingSource(small_table())
+        cached = CachedRateSource(source)
+        cached.type_rates(("A", "B"))
+        assert (cached.stats.hits, cached.stats.misses) == (0, 1)
+        cached.type_rates(("A", "B"))
+        assert (cached.stats.hits, cached.stats.misses) == (1, 1)
+        assert source.calls == 1
+
+    def test_canonicalization_equivalence(self):
+        """Permutations of a multiset share one entry and agree with
+        the uncached source."""
+        table = small_table()
+        cached = CachedRateSource(table)
+        assert cached.type_rates(("B", "A")) == table.type_rates(("A", "B"))
+        assert cached.type_rates(("A", "B")) == table.type_rates(("B", "A"))
+        assert cached.stats.misses == 1
+        assert cached.stats.hits == 1
+
+    def test_matches_uncached_source_everywhere(self):
+        table = small_table()
+        cached = CachedRateSource(table)
+        for cos in table.coschedules():
+            assert cached.type_rates(cos) == table.type_rates(cos)
+            assert cached.per_job_rate(cos, cos[0]) == pytest.approx(
+                table.per_job_rate(cos, cos[0])
+            )
+            assert cached.instantaneous_throughput(cos) == pytest.approx(
+                table.instantaneous_throughput(cos)
+            )
+
+    def test_returns_copies(self):
+        cached = CachedRateSource(small_table())
+        first = cached.type_rates(("A",))
+        first["A"] = 123.0
+        assert cached.type_rates(("A",))["A"] != 123.0
+
+    def test_per_job_rate_unknown_type(self):
+        cached = CachedRateSource(small_table())
+        with pytest.raises(WorkloadError):
+            cached.per_job_rate(("A",), "B")
+
+    def test_delegates_unknown_attributes(self):
+        rates = RateTable(smt_machine())
+        cached = CachedRateSource(rates)
+        assert cached.machine is rates.machine
+        assert cached.roster is rates.roster
+
+    def test_persistence_round_trip(self, tmp_path):
+        table = small_table()
+        cached = CachedRateSource(table)
+        for cos in table.coschedules():
+            cached.type_rates(cos)
+        path = tmp_path / "cache.json"
+        cached.save(path)
+
+        class Exploding:
+            def type_rates(self, coschedule):  # pragma: no cover
+                raise AssertionError("should never be consulted")
+
+        reloaded = CachedRateSource.open(Exploding(), path)
+        assert reloaded.stats.preloaded == len(table.coschedules())
+        for cos in table.coschedules():
+            assert reloaded.type_rates(cos) == table.type_rates(cos)
+        assert reloaded.stats.misses == 0
+
+    def test_open_missing_file_starts_empty(self, tmp_path):
+        cached = CachedRateSource.open(small_table(), tmp_path / "nope.json")
+        assert cached.stats.preloaded == 0
+        assert cached.coschedules() == []
+
+    def test_open_corrupt_file_warns_and_starts_cold(self, tmp_path, capsys):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        cached = CachedRateSource.open(small_table(), path)
+        assert cached.stats.preloaded == 0
+        assert "unreadable rate cache" in capsys.readouterr().err
+        assert cached.type_rates(("A",))  # still usable
+
+    def test_open_shape_corrupt_file_warns_and_starts_cold(
+        self, tmp_path, capsys
+    ):
+        """Valid JSON with the wrong shape must not crash either."""
+        path = tmp_path / "cache.json"
+        path.write_text('{"machine": "m", "entries": {"A": [1.0]}}')
+        cached = CachedRateSource.open(small_table(), path)
+        assert cached.stats.preloaded == 0
+        assert "unreadable rate cache" in capsys.readouterr().err
+
+    def test_open_machine_mismatch_starts_cold(self, tmp_path, capsys):
+        """A cache saved for one machine must not feed another."""
+        smt = CachedRateSource(RateTable(smt_machine()))
+        smt.type_rates(("mcf", "hmmer"))
+        path = tmp_path / "cache.json"
+        smt.save(path)
+
+        from repro.microarch.config import quad_core_machine
+
+        quad = CachedRateSource.open(RateTable(quad_core_machine()), path)
+        assert quad.stats.preloaded == 0
+        assert "starting cold" in capsys.readouterr().err
+        # Same machine still preloads.
+        again = CachedRateSource.open(RateTable(smt_machine()), path)
+        assert again.stats.preloaded == 1
+
+    def test_json_format_compatible_with_tablerates(self):
+        """RateTable.to_json payloads (with ipcs) load fine too."""
+        table = small_table()
+        cached = CachedRateSource(table)
+        cached.type_rates(("A", "B"))
+        buf = io.StringIO()
+        cached.to_json(buf)
+        buf.seek(0)
+        assert TableRates.from_json(buf).type_rates(
+            ("A", "B")
+        ) == table.type_rates(("A", "B"))
+
+    def test_new_entries_only_fresh(self, tmp_path):
+        table = small_table()
+        warm = CachedRateSource(table)
+        warm.type_rates(("A",))
+        path = tmp_path / "cache.json"
+        warm.save(path)
+        reloaded = CachedRateSource.open(table, path)
+        reloaded.type_rates(("A",))  # preloaded -> not fresh
+        reloaded.type_rates(("A", "B"))  # computed -> fresh
+        assert list(reloaded.new_entries()) == [("A", "B")]
+
+    def test_empty_coschedule_round_trip(self, tmp_path):
+        """() must survive persistence as (), not ('',)."""
+        cached = CachedRateSource(TableRates({(): {}}))
+        assert cached.type_rates(()) == {}
+        path = tmp_path / "cache.json"
+        cached.save(path)
+        reloaded = CachedRateSource.open(TableRates({(): {}}), path)
+        assert reloaded.coschedules() == [()]
+        assert reloaded.type_rates(()) == {}
+        assert reloaded.stats.misses == 0
+
+    def test_precompute_covers_all_multisets(self):
+        rates = RateTable(smt_machine())
+        cached = CachedRateSource(rates)
+        count = cached.precompute(types=("mcf", "hmmer"), contexts=2)
+        assert count == 5  # (mcf) (hmmer) (mm) (mh) (hh)
+        assert cached.stats.misses == 5
+        cached.type_rates(("hmmer", "mcf"))
+        assert cached.stats.hits == 1
+
+    def test_precompute_requires_sizing_info(self):
+        cached = CachedRateSource(small_table())
+        with pytest.raises(WorkloadError):
+            cached.precompute(types=("A",))
+
+    def test_reserved_separator_rejected_on_save(self):
+        cached = CachedRateSource(
+            TableRates({("a|b",): {"a|b": 1.0}})
+        )
+        cached.type_rates(("a|b",))
+        with pytest.raises(WorkloadError):
+            cached.to_json(io.StringIO())
+
+
+class TestRateCacheStore:
+    def test_wrap_save_reload(self, tmp_path):
+        path = tmp_path / "rates.json"
+        store = RateCacheStore(path)
+        rates = store.wrap(small_table(), section="toy")
+        rates.type_rates(("A", "B"))
+        assert store.save() == 1
+
+        fresh = RateCacheStore(path)
+        assert fresh.sections() == ["toy"]
+        reloaded = fresh.wrap(small_table(), section="toy")
+        assert reloaded.stats.preloaded == 1
+
+    def test_section_defaults_to_machine_name(self, tmp_path):
+        store = RateCacheStore(tmp_path / "rates.json")
+        rates = store.wrap(RateTable(smt_machine()))
+        assert rates.stats.label == smt_machine().name
+
+    def test_sectionless_source_requires_explicit_section(self, tmp_path):
+        store = RateCacheStore(tmp_path / "rates.json")
+        with pytest.raises(WorkloadError):
+            store.wrap(small_table())
+
+    def test_migrates_single_source_file(self, tmp_path):
+        """A file written by CachedRateSource.save ({machine, entries})
+        loads as a section instead of being silently discarded."""
+        rates = CachedRateSource(RateTable(smt_machine()))
+        rates.type_rates(("mcf", "hmmer"))
+        path = tmp_path / "rates.json"
+        rates.save(path)
+
+        store = RateCacheStore(path)
+        assert store.sections() == [smt_machine().name]
+        assert ("hmmer", "mcf") in store.entries_for(smt_machine().name)
+        # And saving upgrades the file to the sections format.
+        store.save()
+        assert RateCacheStore(path).sections() == [smt_machine().name]
+
+    def test_machineless_single_source_file_warns(self, tmp_path, capsys):
+        path = tmp_path / "rates.json"
+        path.write_text('{"machine": null, "entries": {"A": {"A": 1.0}}}')
+        store = RateCacheStore(path)
+        assert store.sections() == []
+        assert "no machine name" in capsys.readouterr().err
+
+    def test_corrupt_file_warns_and_starts_cold(self, tmp_path, capsys):
+        path = tmp_path / "rates.json"
+        path.write_text("{ not json")
+        store = RateCacheStore(path)
+        assert store.sections() == []
+        assert "unreadable rate cache" in capsys.readouterr().err
+        store.merge("toy", {("A",): {"A": 1.0}})
+        store.save()
+        assert RateCacheStore(path).sections() == ["toy"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            '{"sections": "oops"}',
+            '{"sections": {"smt4": {"A|B": [1.0, 2.0]}}}',
+            '{"sections": {"smt4": {"A": {"A": "not a number"}}}}',
+            "[1, 2, 3]",
+        ],
+    )
+    def test_shape_corrupt_file_warns_and_starts_cold(
+        self, tmp_path, capsys, payload
+    ):
+        path = tmp_path / "rates.json"
+        path.write_text(payload)
+        store = RateCacheStore(path)
+        assert store.sections() == []
+        assert "unreadable rate cache" in capsys.readouterr().err
+
+    def test_merge_external_entries(self, tmp_path):
+        store = RateCacheStore(tmp_path / "rates.json")
+        size = store.merge("toy", {("B", "A"): {"A": 1.0, "B": 0.5}})
+        assert size == 1
+        assert ("A", "B") in store.entries_for("toy")
+
+    def test_sections_are_isolated(self, tmp_path):
+        path = tmp_path / "rates.json"
+        store = RateCacheStore(path)
+        store.merge("one", {("A",): {"A": 1.0}})
+        store.merge("two", {("A",): {"A": 2.0}})
+        store.save()
+        fresh = RateCacheStore(path)
+        assert fresh.entries_for("one")[("A",)]["A"] == 1.0
+        assert fresh.entries_for("two")[("A",)]["A"] == 2.0
+
+    def test_stats_aggregates_wrappers(self, tmp_path):
+        store = RateCacheStore(tmp_path / "rates.json")
+        a = store.wrap(small_table(), section="a")
+        b = store.wrap(small_table(), section="b")
+        a.type_rates(("A",))
+        b.type_rates(("B",))
+        b.type_rates(("B",))
+        total = store.stats()
+        assert total.misses == 2
+        assert total.hits == 1

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Docs check: README code snippets must execute, and the runner CLI
+must list every registered experiment.
+
+Run from the repository root::
+
+    python tools/check_docs.py
+
+Extracts every ```python fenced block from README.md and executes it in
+a fresh namespace (so snippets stay honest as the API evolves), then
+runs ``python -m repro.experiments --list`` and checks the registry is
+fully enumerated.  Exits non-zero on the first failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def check_readme_snippets() -> int:
+    sys.path.insert(0, str(SRC))
+    text = (ROOT / "README.md").read_text()
+    snippets = _FENCE.findall(text)
+    if not snippets:
+        print("FAIL: README.md has no ```python snippets to check")
+        return 1
+    for i, snippet in enumerate(snippets, 1):
+        try:
+            exec(compile(snippet, f"README.md[snippet {i}]", "exec"), {})
+        except Exception as exc:  # noqa: BLE001 - report and fail
+            print(f"FAIL: README snippet {i} raised {exc!r}:\n{snippet}")
+            return 1
+        print(f"ok: README snippet {i} ({len(snippet.splitlines())} lines)")
+    return 0
+
+
+def check_cli_list() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "--list"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env=env,
+    )
+    if proc.returncode != 0:
+        print(f"FAIL: --list exited {proc.returncode}:\n{proc.stderr}")
+        return 1
+    sys.path.insert(0, str(SRC))
+    from repro.experiments import registry
+
+    missing = [n for n in registry.names() if n not in proc.stdout]
+    if missing:
+        print(f"FAIL: --list is missing experiments: {missing}")
+        return 1
+    print(f"ok: --list enumerates all {len(registry.names())} experiments")
+    return 0
+
+
+def main() -> int:
+    return check_readme_snippets() or check_cli_list()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
