@@ -1,0 +1,39 @@
+"""Benchmark: the multi-machine cluster simulator (Section III-D, dynamic).
+
+Times the heap-driven cluster event core end to end: joint LP solve,
+an M-machine saturated cluster run (round-robin dispatch over MAXTP
+machines), and the M independent single-machine reference runs.  The
+assertions pin the reduction: the cluster lands within tolerance of
+both the independent machines and the joint LP optimum.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cluster_exp import compute_cluster
+from repro.experiments.common import sample_workloads
+
+
+def bench(context):
+    workloads = sample_workloads(context.workloads, 2, seed=3)
+    return compute_cluster(
+        context.smt_rates,
+        workloads,
+        n_machines=3,
+        jobs_per_machine=240,
+        seed=0,
+    )
+
+
+def test_cluster(benchmark, context):
+    comparisons = benchmark.pedantic(
+        bench, args=(context,), rounds=1, iterations=1
+    )
+    assert len(comparisons) == 2
+    for comparison in comparisons:
+        # The analytic reduction (joint LP == M x single-machine LP) ...
+        assert abs(
+            comparison.joint_lp_throughput
+            - comparison.reduced_lp_throughput
+        ) <= 1e-6 * comparison.joint_lp_throughput
+        # ... and its dynamic counterpart.
+        assert comparison.within_tolerance

@@ -54,6 +54,7 @@ EXPERIMENT_MODULES: tuple[str, ...] = (
     "repro.experiments.makespan_exp",
     "repro.experiments.units_exp",
     "repro.experiments.skew_exp",
+    "repro.experiments.cluster_exp",
     "repro.experiments.summary",
 )
 

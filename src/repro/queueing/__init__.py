@@ -14,8 +14,13 @@ K contexts are busy, and are (re)scheduled by one of four policies:
   (offline phase), falling back to MAXIT when no optimal coschedule can
   be formed from the jobs present.
 
-:mod:`repro.queueing.engine` is a rate-based discrete-event loop (job
-progress rates change whenever the co-running set changes);
+:mod:`repro.queueing.cluster` is the heap-driven multi-machine event
+core (job progress rates change whenever a machine's co-running set
+changes; each event touches only its own machine);
+:mod:`repro.queueing.dispatch` routes arriving jobs across machines
+(round-robin, join-shortest-queue, or the LP-guided symbiosis-affinity
+policy); :mod:`repro.queueing.engine` is the single-machine front door
+(a thin M=1 wrapper over the core);
 :mod:`repro.queueing.experiment` packages the latency experiment
 (Figure 5), the saturation experiment (Figure 6), and their metrics
 (turnaround time, processor utilization, empty fraction);
@@ -24,6 +29,20 @@ progress rates change whenever the co-running set changes);
 
 from repro.queueing.job import Job
 from repro.queueing.system import SystemMetrics
+from repro.queueing.cluster import (
+    Cluster,
+    ClusterMetrics,
+    Machine,
+    RunRateMemo,
+    run_cluster,
+)
+from repro.queueing.dispatch import (
+    Dispatcher,
+    JoinShortestQueueDispatcher,
+    RoundRobinDispatcher,
+    SymbiosisAffinityDispatcher,
+    make_dispatcher,
+)
 from repro.queueing.engine import run_system
 from repro.queueing.arrivals import poisson_arrivals, saturated_arrivals
 from repro.queueing.schedulers import (
@@ -48,6 +67,16 @@ from repro.queueing.mmk import MMKQueue
 __all__ = [
     "Job",
     "SystemMetrics",
+    "Cluster",
+    "ClusterMetrics",
+    "Machine",
+    "RunRateMemo",
+    "run_cluster",
+    "Dispatcher",
+    "RoundRobinDispatcher",
+    "JoinShortestQueueDispatcher",
+    "SymbiosisAffinityDispatcher",
+    "make_dispatcher",
     "run_system",
     "poisson_arrivals",
     "saturated_arrivals",

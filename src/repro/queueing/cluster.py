@@ -1,0 +1,607 @@
+"""Cluster-scale event core: M machines, one heap-driven event loop.
+
+The seed engine (`run_system`) simulated exactly one machine and
+re-scanned the whole system at every event.  This module generalizes it
+to an M-machine cluster while *removing* the per-event full rescan:
+
+* :class:`Machine` — one machine's contexts (via its per-machine
+  :class:`~repro.queueing.schedulers.Scheduler`), admitted jobs,
+  current running set and rates, and its own
+  :class:`~repro.queueing.system.SystemMetrics`.
+* :class:`Cluster` — the event loop.  An indexed min-heap (lazy
+  deletion keyed by a per-machine epoch) orders the machines'
+  next-completion times; each event touches only the machine it
+  belongs to.  Untouched machines stay *lazy*: their running sets,
+  rates, and metrics intervals are brought up to date only when one of
+  their own events (or the final flush) arrives, so an event costs
+  O(log M + rescheduling one machine) instead of O(M) scheduler calls.
+* :class:`RunRateMemo` — the per-run rate memo, hoisted out of the old
+  engine loop and *shared*: identical machines share one coschedule
+  space, so the memo serves every machine's stepping **and** every
+  scheduler's candidate probing (MAXIT/SRPT evaluate many multisets per
+  decision; previously those lookups bypassed the engine memo).  It
+  wraps any :class:`~repro.microarch.rates.RateSource`, including a
+  persisted :class:`~repro.microarch.rate_cache.CachedRateSource`.
+  Probing shares the memo only when a scheduler was built on *the same
+  rate source object* the run uses — a scheduler probing a different
+  source (a counterfactual table, say) keeps doing exactly that.
+
+Single-machine runs are the M=1 special case:
+:func:`repro.queueing.engine.run_system` is now a thin wrapper over
+this core, and a property test pins its :class:`SystemMetrics`
+bit-identical to the seed engine.  The arithmetic below is therefore
+deliberately event-relative (``dt`` first, absolute times only for
+heap ordering) so the M=1 path performs the exact floating-point
+operations of the seed loop.
+
+Dispatch — which machine an arriving job joins — is delegated to a
+:class:`~repro.queueing.dispatch.Dispatcher` (round-robin,
+join-shortest-queue, or the LP-guided symbiosis-affinity policy).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SimulationError
+from repro.microarch.rates import RateSource
+from repro.queueing.dispatch import Dispatcher
+from repro.queueing.job import Job
+from repro.queueing.schedulers import Scheduler
+from repro.queueing.system import SystemMetrics
+
+__all__ = [
+    "RunRateMemo",
+    "Machine",
+    "ClusterMetrics",
+    "Cluster",
+    "run_cluster",
+]
+
+_EPSILON = 1e-9
+_INF = float("inf")
+
+
+def _per_job_type_rates(
+    rates: RateSource, coschedule: tuple[str, ...]
+) -> dict[str, float]:
+    """Execution rate (work per unit time) of one job of each type.
+
+    Same-type jobs are symmetric, so the rate depends only on the
+    coschedule multiset — which is what makes per-run memoization by
+    coschedule exact.
+    """
+    if not coschedule:
+        return {}
+    type_rates = rates.type_rates(coschedule)
+    counts = Counter(coschedule)
+    return {
+        job_type: type_rates.get(job_type, 0.0) / count
+        for job_type, count in counts.items()
+    }
+
+
+class RunRateMemo:
+    """Per-run rate memo shared by stepping, probing, and dispatch.
+
+    Memoizes ``type_rates`` by canonical multiset and derives the
+    per-job rates the event loop steps with.  One memo serves all
+    machines of a run (identical machines share one coschedule space),
+    and the engine rebinds each scheduler's rate source to it for the
+    run's duration, so MAXIT/SRPT candidate evaluation and engine
+    stepping hit the same entries instead of maintaining separate
+    caches.  Unknown attributes delegate to the wrapped source, so a
+    wrapped :class:`~repro.microarch.rates.RateTable` keeps its full
+    API (``machine``, ``alone_ipc``, ...).
+    """
+
+    def __init__(self, source: RateSource) -> None:
+        self.source = source
+        self._type_rates: dict[tuple[str, ...], dict[str, float]] = {}
+        self._per_job: dict[tuple[str, ...], dict[str, float]] = {}
+
+    def type_rates(self, coschedule: Sequence[str]) -> dict[str, float]:
+        """Total WIPC per job type in ``coschedule`` (memoized)."""
+        key = tuple(sorted(coschedule))
+        entry = self._type_rates.get(key)
+        if entry is None:
+            entry = dict(self.source.type_rates(key))
+            self._type_rates[key] = entry
+        return entry
+
+    def per_job_rates(self, coschedule: tuple[str, ...]) -> dict[str, float]:
+        """Per-job rate of each type in a canonical coschedule."""
+        entry = self._per_job.get(coschedule)
+        if entry is None:
+            entry = _per_job_type_rates(self, coschedule)
+            self._per_job[coschedule] = entry
+        return entry
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.source, name)
+
+
+@dataclass
+class Machine:
+    """One machine of the cluster: scheduler, jobs, and lazy state.
+
+    ``last_sync`` is the simulation time up to which this machine's
+    jobs have been progressed and its metrics observed; between its own
+    events the machine's coschedule (and hence every job's rate) is
+    constant, so catching up is one interval, not one per cluster
+    event.  ``next_completion`` is *relative to* ``last_sync`` — the
+    event loop keeps absolute times only inside the heap.
+    """
+
+    machine_id: int
+    scheduler: Scheduler
+    jobs: list[Job] = field(default_factory=list)
+    running: list[Job] = field(default_factory=list)
+    coschedule: tuple[str, ...] = ()
+    job_rates: dict[str, float] = field(default_factory=dict)
+    next_completion: float = _INF
+    last_sync: float = 0.0
+    metrics: SystemMetrics = field(default_factory=SystemMetrics)
+    dirty: bool = True
+    epoch: int = 0
+
+    @property
+    def contexts(self) -> int:
+        """Hardware contexts of this machine (from its scheduler)."""
+        return self.scheduler.contexts
+
+    def reschedule(self, memo: RunRateMemo, clock: float) -> None:
+        """Re-select the running set and its rates (one machine only)."""
+        scheduler = self.scheduler
+        running = scheduler.select(self.jobs, clock) if self.jobs else []
+        if len(running) > scheduler.contexts:
+            raise SimulationError(
+                f"{scheduler.name} selected {len(running)} jobs for "
+                f"{scheduler.contexts} contexts"
+            )
+        ids = {job.job_id for job in running}
+        if len(ids) != len(running):
+            raise SimulationError(f"{scheduler.name} selected a job twice")
+
+        coschedule = tuple(sorted(job.job_type for job in running))
+        job_rates = memo.per_job_rates(coschedule)
+        next_completion = _INF
+        for job in running:
+            rate = job_rates[job.job_type]
+            if rate <= 0.0:
+                raise SimulationError(
+                    f"job {job.job_id} ({job.job_type}) has zero rate in "
+                    "its coschedule"
+                )
+            next_completion = min(next_completion, job.remaining / rate)
+        self.running = running
+        self.coschedule = coschedule
+        self.job_rates = job_rates
+        self.next_completion = next_completion
+        self.dirty = False
+        self.epoch += 1
+
+    def sync(
+        self,
+        new_clock: float,
+        *,
+        span: float | None = None,
+        warmup: float = 0.0,
+    ) -> None:
+        """Progress this machine's running jobs up to ``new_clock``.
+
+        ``span`` is the elapsed time; when the caller knows the exact
+        event step (``dt``) it passes it so the M=1 path reproduces the
+        seed engine's arithmetic bit for bit — otherwise the span is
+        the clock difference since the machine's last sync (the lazy
+        catch-up of an untouched machine).
+        """
+        if span is None:
+            span = new_clock - self.last_sync
+        work = 0.0
+        for job in self.running:
+            step = self.job_rates[job.job_type] * span
+            job.progress(step)
+            work += step
+
+        measured = new_clock - max(self.last_sync, warmup)
+        if measured > 0.0:
+            fraction = measured / span if span > 0.0 else 0.0
+            self.metrics.observe_interval(
+                measured, self.coschedule, len(self.jobs), work * fraction
+            )
+        self.scheduler.observe(self.coschedule, span)
+        self.last_sync = new_clock
+
+    def complete_finished(self, clock: float, warmup: float) -> int:
+        """Retire running jobs whose work is done; returns the count."""
+        finished = [job for job in self.running if job.done]
+        for job in finished:
+            job.completion_time = clock
+            if clock >= warmup:
+                self.metrics.observe_completion(job.turnaround)
+        if finished:
+            done_ids = {job.job_id for job in finished}
+            self.jobs = [
+                job for job in self.jobs if job.job_id not in done_ids
+            ]
+        return len(finished)
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Per-machine metrics of one cluster run, plus aggregates.
+
+    Every machine's metrics cover the same measurement window (idle
+    machines accumulate empty intervals, and the run flushes all
+    machines to the final clock), so cluster-level rates are sums of
+    per-machine rates.
+    """
+
+    per_machine: tuple[SystemMetrics, ...]
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines in the cluster."""
+        return len(self.per_machine)
+
+    def machine(self, index: int) -> SystemMetrics:
+        """Metrics of one machine."""
+        return self.per_machine[index]
+
+    @property
+    def completed(self) -> int:
+        """Jobs completed inside the window, cluster-wide."""
+        return sum(m.completed for m in self.per_machine)
+
+    @property
+    def work_done(self) -> float:
+        """Weighted work executed inside the window, cluster-wide."""
+        return sum(m.work_done for m in self.per_machine)
+
+    @property
+    def mean_turnaround(self) -> float:
+        """Average turnaround over every completed job in the cluster."""
+        if self.completed == 0:
+            raise SimulationError("no completions observed")
+        total = sum(m.turnaround_sum for m in self.per_machine)
+        return total / self.completed
+
+    @property
+    def throughput(self) -> float:
+        """Cluster throughput: sum of per-machine work rates (WIPC)."""
+        return sum(m.throughput for m in self.per_machine)
+
+    @property
+    def utilization(self) -> float:
+        """Average busy contexts cluster-wide (sum over machines)."""
+        return sum(m.utilization for m in self.per_machine)
+
+    @property
+    def empty_fraction(self) -> float:
+        """Mean per-machine fraction of time with no jobs."""
+        return sum(m.empty_fraction for m in self.per_machine) / max(
+            self.n_machines, 1
+        )
+
+
+class Cluster:
+    """M identical-hardware machines behind one dispatch policy.
+
+    Args:
+        rates: per-coschedule execution rates (shared by all machines —
+            identical machines share one coschedule space, so one
+            per-run memo serves the whole cluster).
+        schedulers: one per machine; each machine packs its own
+            coschedules with its own scheduler instance.
+        dispatcher: routes each arriving job to a machine.
+    """
+
+    def __init__(
+        self,
+        rates: RateSource,
+        schedulers: Sequence[Scheduler],
+        dispatcher: Dispatcher,
+    ) -> None:
+        if not schedulers:
+            raise SimulationError("a cluster needs at least one machine")
+        self.rates = rates
+        self.schedulers = list(schedulers)
+        self.dispatcher = dispatcher
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines."""
+        return len(self.schedulers)
+
+    def run(
+        self,
+        arrivals: Iterable[Job],
+        *,
+        warmup_time: float = 0.0,
+        horizon: float | None = None,
+        stop_when_fewer_than: int | None = None,
+        keep_in_system: int | None = None,
+        max_events: int = 5_000_000,
+    ) -> ClusterMetrics:
+        """Run the cluster to completion and return per-machine metrics.
+
+        Args:
+            arrivals: jobs in non-decreasing arrival order (one global
+                stream; the dispatcher splits it across machines).
+            warmup_time: observations before this time are discarded.
+            horizon: optional hard stop time.
+            stop_when_fewer_than: stop once the whole cluster holds
+                fewer jobs than this (and the stream is exhausted) —
+                cuts the drain tail of saturation runs.
+            keep_in_system: per-machine cap on concurrently admitted
+                jobs (a bounded backlog).  A due arrival waits outside
+                until its dispatch target has room; if every machine is
+                full, the stream stalls until a completion.
+            max_events: safety bound on processed events.
+        """
+        memo = RunRateMemo(self.rates)
+        machines = [
+            Machine(machine_id=i, scheduler=s)
+            for i, s in enumerate(self.schedulers)
+        ]
+        # Hoist the per-run memo into every scheduler that probes the
+        # run's own rate source, so candidate evaluation and stepping
+        # share one memo (restored on exit — schedulers outlive runs).
+        # The rebind is identity-conditioned on purpose: a scheduler
+        # deliberately built on a *different* rate source (e.g. a
+        # counterfactual table) keeps probing its own source.
+        rebound = [s for s in self.schedulers if s.rates is self.rates]
+        for scheduler in rebound:
+            scheduler.bind_rates(memo)
+        try:
+            self._event_loop(
+                memo,
+                machines,
+                iter(arrivals),
+                warmup_time=warmup_time,
+                horizon=horizon,
+                stop_when_fewer_than=stop_when_fewer_than,
+                keep_in_system=keep_in_system,
+                max_events=max_events,
+            )
+        finally:
+            for scheduler in rebound:
+                scheduler.bind_rates(self.rates)
+        return ClusterMetrics(
+            per_machine=tuple(m.metrics for m in machines)
+        )
+
+    def _event_loop(
+        self,
+        memo: RunRateMemo,
+        machines: list[Machine],
+        stream: Iterator[Job],
+        *,
+        warmup_time: float,
+        horizon: float | None,
+        stop_when_fewer_than: int | None,
+        keep_in_system: int | None,
+        max_events: int,
+    ) -> None:
+        dispatcher = self.dispatcher
+        pending: Job | None = next(stream, None)
+        clock = 0.0
+        last_arrival = -1.0
+        # Indexed min-heap of absolute next-completion times; entries
+        # are invalidated by bumping the machine's epoch (lazy deletion).
+        heap: list[tuple[float, int, int]] = []
+        # Dispatch decision made at an arrival event, consumed by the
+        # admission at the top of the next iteration (so the event and
+        # the admission agree on the target, and round-robin's cursor
+        # advances exactly once per job).
+        routed: int | None = None
+        # Incrementally maintained cluster state, so an event costs
+        # O(log M + rescheduling one machine) instead of O(M) scans:
+        # jobs currently admitted, machines at their admission cap, and
+        # the machines needing re-selection before the next event.
+        in_system = 0
+        full_machines = 0
+        dirty_list: list[Machine] = list(machines)
+
+        def has_room(machine: Machine) -> bool:
+            return (
+                keep_in_system is None
+                or len(machine.jobs) < keep_in_system
+            )
+
+        def mark_dirty(machine: Machine) -> None:
+            if not machine.dirty:
+                machine.dirty = True
+                dirty_list.append(machine)
+
+        def route(job: Job) -> int:
+            """Validated dispatch decision among machines with room."""
+            eligible = [m.machine_id for m in machines if has_room(m)]
+            target = dispatcher.route(job, machines, eligible, clock)
+            if not 0 <= target < len(machines) or not has_room(
+                machines[target]
+            ):
+                raise SimulationError(
+                    f"{dispatcher.name} routed to invalid machine {target}"
+                )
+            return target
+
+        def retire(machine: Machine, when: float) -> None:
+            """Completion bookkeeping shared by every event branch."""
+            nonlocal in_system, full_machines
+            was_full = not has_room(machine)
+            finished = machine.complete_finished(when, warmup_time)
+            in_system -= finished
+            if was_full and has_room(machine):
+                full_machines -= 1
+            # The machine's event always triggers re-selection (the
+            # seed engine re-selected after every event, and MAXTP's
+            # deficits and SRPT's remaining-time ordering shift even
+            # without arrivals).
+            mark_dirty(machine)
+
+        for _ in range(max_events):
+            # Admit every arrival due now (handles batched time-zero
+            # jobs).  The target machine catches up to the clock before
+            # its queue changes, so its pending interval is observed
+            # with the pre-arrival job count.
+            while (
+                pending is not None
+                and pending.arrival_time <= clock + _EPSILON
+            ):
+                if routed is not None and has_room(machines[routed]):
+                    target = routed
+                elif full_machines < len(machines):
+                    target = route(pending)
+                else:
+                    break
+                routed = None
+                if pending.arrival_time < last_arrival - _EPSILON:
+                    raise SimulationError("arrivals out of order")
+                last_arrival = pending.arrival_time
+                machine = machines[target]
+                machine.sync(clock, warmup=warmup_time)
+                machine.jobs.append(pending)
+                in_system += 1
+                if not has_room(machine):
+                    full_machines += 1
+                mark_dirty(machine)
+                pending = next(stream, None)
+
+            if stop_when_fewer_than is not None and pending is None:
+                if in_system < stop_when_fewer_than:
+                    break
+            if in_system == 0 and pending is None:
+                break
+            if horizon is not None and clock >= horizon:
+                break
+
+            if dirty_list:
+                for machine in dirty_list:
+                    machine.reschedule(memo, clock)
+                    if machine.running:
+                        heapq.heappush(
+                            heap,
+                            (
+                                machine.last_sync + machine.next_completion,
+                                machine.machine_id,
+                                machine.epoch,
+                            ),
+                        )
+                dirty_list.clear()
+
+            # Earliest completion across machines (heap top, pruning
+            # stale entries), expressed relative to the clock so the
+            # M=1 path compares the exact quantities the seed did.
+            next_machine: Machine | None = None
+            next_completion = _INF
+            while heap:
+                _, machine_id, epoch = heap[0]
+                machine = machines[machine_id]
+                if epoch != machine.epoch or not machine.running:
+                    heapq.heappop(heap)
+                    continue
+                next_machine = machine
+                next_completion = machine.next_completion + (
+                    machine.last_sync - clock
+                )
+                break
+
+            # A due-but-not-admitted arrival (bounded backlog at
+            # capacity) must not produce zero-length steps: the next
+            # admission can only happen at a completion, so ignore it
+            # for time stepping.
+            can_admit = pending is not None and full_machines < len(
+                machines
+            )
+            next_arrival = (
+                pending.arrival_time - clock if can_admit else _INF
+            )
+            dt = min(next_completion, next_arrival)
+            if horizon is not None:
+                dt = min(dt, horizon - clock)
+            if dt == _INF:
+                raise SimulationError(
+                    "no progress possible: idle with no arrivals"
+                )
+            dt = max(dt, 0.0)
+            new_clock = clock + dt
+
+            if next_machine is not None and next_completion <= dt:
+                # Completion event: only its machine advances eagerly.
+                # A machine already current at the clock steps by the
+                # exact dt (the M=1 bit-identity path); a lazy one
+                # catches up over its whole pending interval.
+                next_machine.sync(
+                    new_clock,
+                    span=dt if next_machine.last_sync == clock else None,
+                    warmup=warmup_time,
+                )
+                clock = new_clock
+                retire(next_machine, clock)
+            elif can_admit and next_arrival <= dt:
+                # Arrival event: route now (once per job), advance the
+                # target to the arrival instant; the admission happens
+                # at the top of the next iteration, as in the seed loop.
+                if routed is None or not has_room(machines[routed]):
+                    routed = route(pending)
+                target_machine = machines[routed]
+                target_machine.sync(
+                    new_clock,
+                    span=dt if target_machine.last_sync == clock else None,
+                    warmup=warmup_time,
+                )
+                clock = new_clock
+                retire(target_machine, clock)
+            else:
+                # Horizon clamp: one final step for every machine (the
+                # loop exits at the top of the next iteration).
+                for machine in machines:
+                    machine.sync(
+                        new_clock,
+                        span=dt if machine.last_sync == clock else None,
+                        warmup=warmup_time,
+                    )
+                clock = new_clock
+                for machine in machines:
+                    retire(machine, clock)
+        else:
+            raise SimulationError(
+                f"simulation exceeded {max_events} events without "
+                "terminating"
+            )
+
+        # Flush: lazy machines observe their tail interval (idle
+        # machines' empty time included) up to the final clock.
+        for machine in machines:
+            machine.sync(clock, warmup=warmup_time)
+
+
+def run_cluster(
+    rates: RateSource,
+    schedulers: Sequence[Scheduler],
+    dispatcher: Dispatcher,
+    arrivals: Iterable[Job],
+    *,
+    warmup_time: float = 0.0,
+    horizon: float | None = None,
+    stop_when_fewer_than: int | None = None,
+    keep_in_system: int | None = None,
+    max_events: int = 5_000_000,
+) -> ClusterMetrics:
+    """Build a :class:`Cluster` and run it once (convenience wrapper)."""
+    cluster = Cluster(rates, schedulers, dispatcher)
+    return cluster.run(
+        arrivals,
+        warmup_time=warmup_time,
+        horizon=horizon,
+        stop_when_fewer_than=stop_when_fewer_than,
+        keep_in_system=keep_in_system,
+        max_events=max_events,
+    )

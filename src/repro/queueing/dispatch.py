@@ -1,0 +1,244 @@
+"""Cluster-level dispatch policies: which machine gets the next job.
+
+The multi-machine simulator is two-level, mirroring the structure of
+cluster schedulers that compose placement with per-machine packing: a
+*dispatcher* routes each arriving job to one machine, and the machine's
+own :class:`~repro.queueing.schedulers.Scheduler` packs coschedules
+from whatever the dispatcher sent it.  The paper's Section III-D claim
+— multi-machine symbiotic scheduling reduces to the single-machine
+problem — predicts that a type-blind balanced dispatcher (round-robin)
+composed with a good per-machine scheduler already achieves the joint
+optimum; the policies here let experiments test that dynamically.
+
+* :class:`RoundRobinDispatcher` — cycle through the machines; with no
+  admission caps, job *i* of the stream lands on machine ``i mod M``,
+  which makes an M-machine cluster decompose into M independent
+  single-machine systems (the reduction's premise).
+* :class:`JoinShortestQueueDispatcher` — classic JSQ: route to the
+  machine currently holding the fewest jobs.
+* :class:`SymbiosisAffinityDispatcher` — route *by type* using the
+  Section-IV LP fractions: the offline LP solution induces, for every
+  pair of types, the expected number of co-runners of one type a job of
+  the other type sees under the optimal schedule; jobs are steered
+  toward (near-shortest) queues whose current mix they are most
+  symbiotic with.
+
+Dispatchers are deliberately stateful-but-deterministic objects (the
+round-robin cursor, the affinity table); build a fresh one per run when
+reproducibility across runs matters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.optimal import optimal_throughput
+from repro.core.workload import Workload
+from repro.errors import WorkloadError
+from repro.microarch.rates import RateSource
+from repro.queueing.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
+    from repro.queueing.cluster import Machine
+
+__all__ = [
+    "Dispatcher",
+    "RoundRobinDispatcher",
+    "JoinShortestQueueDispatcher",
+    "SymbiosisAffinityDispatcher",
+    "make_dispatcher",
+]
+
+
+class Dispatcher(ABC):
+    """Base class: picks the target machine for each admitted job."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def route(
+        self,
+        job: Job,
+        machines: Sequence["Machine"],
+        eligible: Sequence[int],
+        clock: float,
+    ) -> int:
+        """Choose the machine index for ``job``.
+
+        Args:
+            job: the job about to enter the cluster.
+            machines: every machine (inspect ``machine.jobs`` freely —
+                queue contents are current at every dispatch decision).
+            eligible: indices of machines with admission room, never
+                empty.  The returned index must come from this list.
+            clock: current simulation time.
+        """
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """Cycle through machines; skip to the next one with room.
+
+    Without per-machine admission caps the cursor advances exactly once
+    per job, so job *i* lands on machine ``(start + i) mod M`` — the
+    deterministic split that reduces the cluster to M independent
+    single-machine systems.
+    """
+
+    name = "round_robin"
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise WorkloadError(f"start must be non-negative, got {start}")
+        self._cursor = start
+
+    def route(
+        self,
+        job: Job,
+        machines: Sequence["Machine"],
+        eligible: Sequence[int],
+        clock: float,
+    ) -> int:
+        room = set(eligible)
+        n = len(machines)
+        for offset in range(n):
+            index = (self._cursor + offset) % n
+            if index in room:
+                self._cursor = (index + 1) % n
+                return index
+        raise WorkloadError("route() called with no eligible machine")
+
+
+class JoinShortestQueueDispatcher(Dispatcher):
+    """Route to the eligible machine with the fewest jobs in system.
+
+    Ties break toward the lowest machine index, keeping runs
+    deterministic.
+    """
+
+    name = "jsq"
+
+    def route(
+        self,
+        job: Job,
+        machines: Sequence["Machine"],
+        eligible: Sequence[int],
+        clock: float,
+    ) -> int:
+        return min(eligible, key=lambda i: (len(machines[i].jobs), i))
+
+
+class SymbiosisAffinityDispatcher(Dispatcher):
+    """Route by job type using the Section-IV LP fractions.
+
+    Offline phase: solve the single-machine LP for the workload.  Its
+    optimal coschedule time fractions induce a pairwise affinity
+
+    ``w(a, b) = sum_s x_s * n_a(s) * (n_b(s) - [a = b])``
+
+    — the expected number of type-``b`` co-runners a type-``a`` job has
+    under the optimal schedule (so types the LP likes to co-run score
+    high together, and types it keeps apart score zero).
+
+    Online phase: among eligible machines whose queue length is within
+    ``slack`` of the shortest (load still rules first-order), send the
+    job to the queue whose current mix it has the highest mean affinity
+    with; ties fall back to shorter-queue-then-lowest-index.  On
+    identical machines with a balanced flow this behaves like
+    round-robin until type imbalances appear, then consolidates
+    symbiotic types.
+    """
+
+    name = "affinity"
+
+    def __init__(
+        self,
+        rates: RateSource,
+        workload: Workload,
+        *,
+        contexts: int | None = None,
+        backend: str = "simplex",
+        slack: int = 1,
+    ) -> None:
+        if slack < 0:
+            raise WorkloadError(f"slack must be non-negative, got {slack}")
+        schedule = optimal_throughput(
+            rates, workload, contexts=contexts, backend=backend
+        )
+        self.fractions: dict[tuple[str, ...], float] = dict(schedule.fractions)
+        affinity: dict[tuple[str, str], float] = {}
+        for coschedule, fraction in self.fractions.items():
+            counts = Counter(coschedule)
+            for a, n_a in counts.items():
+                for b, n_b in counts.items():
+                    co_runners = n_a * (n_b - (1 if a == b else 0))
+                    if co_runners:
+                        affinity[(a, b)] = (
+                            affinity.get((a, b), 0.0) + fraction * co_runners
+                        )
+        self.affinity = affinity
+        self.slack = slack
+
+    def _mean_affinity(self, job_type: str, queue: Sequence[Job]) -> float:
+        if not queue:
+            return 0.0
+        total = sum(
+            self.affinity.get((job_type, queued.job_type), 0.0)
+            for queued in queue
+        )
+        return total / len(queue)
+
+    def route(
+        self,
+        job: Job,
+        machines: Sequence["Machine"],
+        eligible: Sequence[int],
+        clock: float,
+    ) -> int:
+        shortest = min(len(machines[i].jobs) for i in eligible)
+        shortlist = [
+            i
+            for i in eligible
+            if len(machines[i].jobs) <= shortest + self.slack
+        ]
+        return min(
+            shortlist,
+            key=lambda i: (
+                -self._mean_affinity(job.job_type, machines[i].jobs),
+                len(machines[i].jobs),
+                i,
+            ),
+        )
+
+
+def make_dispatcher(
+    name: str,
+    *,
+    rates: RateSource | None = None,
+    workload: Workload | None = None,
+    contexts: int | None = None,
+    backend: str = "simplex",
+) -> Dispatcher:
+    """Factory: build a dispatcher by name.
+
+    ``rates`` and ``workload`` are required for "affinity" (its offline
+    LP phase); the other policies need nothing.
+    """
+    key = name.lower().replace("-", "_")
+    if key in ("rr", "round_robin", "roundrobin"):
+        return RoundRobinDispatcher()
+    if key in ("jsq", "join_shortest_queue", "shortest"):
+        return JoinShortestQueueDispatcher()
+    if key in ("affinity", "symbiosis", "symbiosis_affinity"):
+        if rates is None or workload is None:
+            raise WorkloadError(
+                "the affinity dispatcher needs rates and workload for "
+                "its offline LP phase"
+            )
+        return SymbiosisAffinityDispatcher(
+            rates, workload, contexts=contexts, backend=backend
+        )
+    raise WorkloadError(
+        f"unknown dispatcher {name!r}; choose round_robin, jsq, or affinity"
+    )

@@ -1,4 +1,4 @@
-"""Rate-based discrete-event engine.
+"""Rate-based discrete-event engine (single-machine front door).
 
 Jobs progress at rates that depend on the currently running coschedule
 (the per-job WIPC from the rate source), so the simulation advances
@@ -8,47 +8,29 @@ scheduler re-selects the running set — context-switch costs are not
 modeled, matching the paper ("effects that are not modeled in this
 experiment").
 
-Per-coschedule job rates are memoized for the duration of a run: the
-engine asks the rate source once per distinct running multiset instead
-of once per event, which removes the dominant cost of long runs even
-when the source itself is uncached (and composes with the persistent
-:class:`~repro.microarch.rate_cache.CachedRateSource` layer, which
-removes the simulator cost across runs and processes).
+:func:`run_system` is the M=1 special case of the cluster event core
+(:mod:`repro.queueing.cluster`): one machine, a trivial dispatcher, and
+the same shared per-run rate memo — the engine asks the rate source
+once per distinct running multiset instead of once per event, and the
+schedulers' candidate probing (MAXIT/SRPT) hits the same memo.  A
+property test pins the wrapper's :class:`SystemMetrics` bit-identical
+to the original single-machine loop, so every Section-VI experiment is
+unchanged; multi-machine scenarios use
+:func:`repro.queueing.cluster.run_cluster` directly.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Iterable, Iterator
+from typing import Iterable
 
-from repro.errors import SimulationError
 from repro.microarch.rates import RateSource
+from repro.queueing.cluster import run_cluster
+from repro.queueing.dispatch import RoundRobinDispatcher
 from repro.queueing.job import Job
 from repro.queueing.schedulers import Scheduler
 from repro.queueing.system import SystemMetrics
 
 __all__ = ["run_system"]
-
-_EPSILON = 1e-9
-
-
-def _per_job_type_rates(
-    rates: RateSource, coschedule: tuple[str, ...]
-) -> dict[str, float]:
-    """Execution rate (work per unit time) of one job of each type.
-
-    Same-type jobs are symmetric, so the rate depends only on the
-    coschedule multiset — which is what makes per-run memoization by
-    coschedule exact.
-    """
-    if not coschedule:
-        return {}
-    type_rates = rates.type_rates(coschedule)
-    counts = Counter(coschedule)
-    return {
-        job_type: type_rates.get(job_type, 0.0) / count
-        for job_type, count in counts.items()
-    }
 
 
 def run_system(
@@ -62,7 +44,7 @@ def run_system(
     keep_in_system: int | None = None,
     max_events: int = 5_000_000,
 ) -> SystemMetrics:
-    """Run the queueing system to completion and return its metrics.
+    """Run the single-machine queueing system and return its metrics.
 
     Args:
         rates: per-coschedule execution rates.
@@ -85,105 +67,15 @@ def run_system(
     Returns:
         Accumulated :class:`~repro.queueing.system.SystemMetrics`.
     """
-    stream: Iterator[Job] = iter(arrivals)
-    pending: Job | None = next(stream, None)
-    jobs: list[Job] = []
-    metrics = SystemMetrics()
-    clock = 0.0
-    last_arrival = -1.0
-    # Per-run memo: coschedule multiset -> per-job rate of each type.
-    rate_memo: dict[tuple[str, ...], dict[str, float]] = {}
-
-    for _ in range(max_events):
-        # Admit every arrival due now (handles batched time-zero jobs).
-        while (
-            pending is not None
-            and pending.arrival_time <= clock + _EPSILON
-            and (keep_in_system is None or len(jobs) < keep_in_system)
-        ):
-            if pending.arrival_time < last_arrival - _EPSILON:
-                raise SimulationError("arrivals out of order")
-            last_arrival = pending.arrival_time
-            jobs.append(pending)
-            pending = next(stream, None)
-
-        if stop_when_fewer_than is not None and pending is None:
-            if len(jobs) < stop_when_fewer_than:
-                break
-        if not jobs and pending is None:
-            break
-        if horizon is not None and clock >= horizon:
-            break
-
-        running = scheduler.select(jobs, clock) if jobs else []
-        if len(running) > scheduler.contexts:
-            raise SimulationError(
-                f"{scheduler.name} selected {len(running)} jobs for "
-                f"{scheduler.contexts} contexts"
-            )
-        ids = {job.job_id for job in running}
-        if len(ids) != len(running):
-            raise SimulationError(f"{scheduler.name} selected a job twice")
-
-        coschedule = tuple(sorted(job.job_type for job in running))
-        job_rates = rate_memo.get(coschedule)
-        if job_rates is None:
-            job_rates = _per_job_type_rates(rates, coschedule)
-            rate_memo[coschedule] = job_rates
-        next_completion = float("inf")
-        for job in running:
-            rate = job_rates[job.job_type]
-            if rate <= 0.0:
-                raise SimulationError(
-                    f"job {job.job_id} ({job.job_type}) has zero rate in "
-                    "its coschedule"
-                )
-            next_completion = min(next_completion, job.remaining / rate)
-
-        # A due-but-not-admitted arrival (bounded backlog at capacity)
-        # must not produce zero-length steps: the next admission can
-        # only happen at a completion, so ignore it for time stepping.
-        can_admit = keep_in_system is None or len(jobs) < keep_in_system
-        next_arrival = (
-            pending.arrival_time - clock
-            if (pending is not None and can_admit)
-            else float("inf")
-        )
-        dt = min(next_completion, next_arrival)
-        if horizon is not None:
-            dt = min(dt, horizon - clock)
-        if dt == float("inf"):
-            raise SimulationError("no progress possible: idle with no arrivals")
-        dt = max(dt, 0.0)
-
-        # Advance time, progressing the running jobs.
-        work = 0.0
-        for job in running:
-            step = job_rates[job.job_type] * dt
-            job.progress(step)
-            work += step
-
-        measured_dt = min(clock + dt, float("inf")) - max(clock, warmup_time)
-        if measured_dt > 0.0:
-            fraction = measured_dt / dt if dt > 0.0 else 0.0
-            metrics.observe_interval(
-                measured_dt, coschedule, len(jobs), work * fraction
-            )
-        scheduler.observe(coschedule, dt)
-        clock += dt
-
-        # Completions.
-        finished = [job for job in running if job.done]
-        for job in finished:
-            job.completion_time = clock
-            if clock >= warmup_time:
-                metrics.observe_completion(job.turnaround)
-        if finished:
-            done_ids = {job.job_id for job in finished}
-            jobs = [job for job in jobs if job.job_id not in done_ids]
-    else:
-        raise SimulationError(
-            f"simulation exceeded {max_events} events without terminating"
-        )
-
-    return metrics
+    metrics = run_cluster(
+        rates,
+        [scheduler],
+        RoundRobinDispatcher(),
+        arrivals,
+        warmup_time=warmup_time,
+        horizon=horizon,
+        stop_when_fewer_than=stop_when_fewer_than,
+        keep_in_system=keep_in_system,
+        max_events=max_events,
+    )
+    return metrics.per_machine[0]

@@ -77,6 +77,18 @@ class Scheduler(ABC):
     def observe(self, coschedule: tuple[str, ...], dt: float) -> None:
         """Hook: the engine reports how long each coschedule ran."""
 
+    def bind_rates(self, rates: RateSource) -> None:
+        """Swap the rate source used for probing.
+
+        The event core hoists a shared per-run memo over the run's rate
+        source and rebinds every scheduler to it, so candidate-multiset
+        evaluation (MAXIT/SRPT probe many coschedules per decision) and
+        engine stepping hit one memo; the original source is restored
+        when the run ends.  Subclasses holding extra rate-consuming
+        helpers must propagate the rebind.
+        """
+        self.rates = rates
+
     def _pick_oldest(
         self, jobs: Sequence[Job], multiset: tuple[str, ...]
     ) -> list[Job]:
@@ -218,6 +230,11 @@ class MaxTpScheduler(Scheduler):
         self.total_time += dt
         if coschedule in self.time_in:
             self.time_in[coschedule] += dt
+
+    def bind_rates(self, rates: RateSource) -> None:
+        """Rebind both this scheduler and its MAXIT fallback."""
+        super().bind_rates(rates)
+        self._fallback.bind_rates(rates)
 
     def _deficit(self, coschedule: tuple[str, ...]) -> float:
         target = self.target_fractions[coschedule]

@@ -1,0 +1,102 @@
+"""Integration: the cluster experiment validates Section III-D end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.experiments import cluster_exp, registry
+from repro.experiments.cluster_exp import (
+    balanced_saturated_jobs,
+    compute_cluster,
+)
+from repro.microarch.rates import TableRates
+from repro.util.multiset import multisets
+
+
+def symbiotic_table() -> TableRates:
+    """Two types, two contexts; mixing A with B is the fast coschedule."""
+    table = {}
+    per_job = {"A": 1.0, "B": 0.6}
+    for size in (1, 2):
+        for cos in multisets(("A", "B"), size):
+            interference = 0.7 if len(set(cos)) == 1 and size == 2 else 1.0
+            table[cos] = {
+                b: per_job[b] * cos.count(b) * interference
+                for b in set(cos)
+            }
+    return TableRates(table)
+
+
+class TestBalancedJobs:
+    def test_equal_work_per_type(self):
+        jobs = balanced_saturated_jobs(("A", "B"), 12, seed=3)
+        assert len(jobs) == 12
+        assert sum(1 for j in jobs if j.job_type == "A") == 6
+        assert all(j.size == 1.0 and j.arrival_time == 0.0 for j in jobs)
+
+    def test_requires_divisible_count(self):
+        with pytest.raises(ValueError, match="divisible"):
+            balanced_saturated_jobs(("A", "B"), 7)
+
+
+class TestComputeCluster:
+    def test_reduction_holds_on_synthetic_rates(self):
+        rates = symbiotic_table()
+        comparisons = compute_cluster(
+            rates,
+            [Workload.of("A", "B")],
+            n_machines=3,
+            scheduler="maxtp",
+            jobs_per_machine=200,
+            backlog_per_machine=8,
+            contexts=2,
+        )
+        (comparison,) = comparisons
+        # The analytic reduction: joint LP == M x single-machine LP.
+        assert comparison.joint_lp_throughput == pytest.approx(
+            comparison.reduced_lp_throughput, rel=1e-7
+        )
+        # The dynamic reduction: the simulated cluster matches both the
+        # independent machines and the LP optimum.
+        assert comparison.within_tolerance
+        assert comparison.cluster_vs_independent == pytest.approx(
+            1.0, abs=comparison.tolerance
+        )
+        assert comparison.cluster_vs_joint_lp == pytest.approx(
+            1.0, abs=comparison.tolerance
+        )
+
+    def test_render_reports_verdict(self):
+        rates = symbiotic_table()
+        comparisons = compute_cluster(
+            rates,
+            [Workload.of("A", "B")],
+            n_machines=2,
+            jobs_per_machine=100,
+            backlog_per_machine=6,
+            contexts=2,
+        )
+        text = cluster_exp.render(comparisons)
+        assert "joint LP" in text
+        assert "Section III-D reduction, dynamically" in text
+
+    def test_render_handles_empty(self):
+        assert "no workloads" in cluster_exp.render([])
+
+
+class TestRegistryWiring:
+    def test_registered(self):
+        experiment = registry.get("cluster_exp")
+        assert experiment.kind == "analysis"
+        assert "III-D" in experiment.title
+
+    def test_registry_run_on_shared_context(self, context):
+        """The registered run() works on the session context (tiny
+        quick-mode sizing keeps this cheap)."""
+        options = registry.RunOptions(max_workloads=1, seed=0, quick=True)
+        comparisons = registry.get("cluster_exp").run(context, options)
+        assert len(comparisons) == 1
+        assert comparisons[0].n_machines == 3
+        text = cluster_exp.render(comparisons)
+        assert "1/1" in text

@@ -12,9 +12,9 @@ from repro.experiments.runner import main
 class TestRegistry:
     def test_all_experiments_registered(self):
         names = registry.names()
-        assert len(names) == 15
+        assert len(names) == 16
         for expected in ("table1", "figure1", "figure5", "section7",
-                         "fairness", "summary"):
+                         "fairness", "cluster_exp", "summary"):
             assert expected in names
 
     def test_get_returns_metadata(self):

@@ -1,0 +1,266 @@
+"""Unit tests for the heap-driven multi-machine event core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.microarch.rates import TableRates
+from repro.queueing.cluster import (
+    Cluster,
+    ClusterMetrics,
+    RunRateMemo,
+    run_cluster,
+)
+from repro.queueing.dispatch import (
+    Dispatcher,
+    JoinShortestQueueDispatcher,
+    RoundRobinDispatcher,
+)
+from repro.queueing.job import Job
+from repro.queueing.schedulers import FcfsScheduler, make_scheduler
+
+
+@pytest.fixture()
+def unit_rates() -> TableRates:
+    """Every job progresses at rate 1 regardless of coschedule."""
+    return TableRates(
+        {
+            ("A",): {"A": 1.0},
+            ("B",): {"B": 1.0},
+            ("A", "A"): {"A": 2.0},
+            ("A", "B"): {"A": 1.0, "B": 1.0},
+            ("B", "B"): {"B": 2.0},
+        }
+    )
+
+
+def jobs_at(*specs) -> list[Job]:
+    """specs: (type, arrival, size)."""
+    return [
+        Job(job_id=i, job_type=t, size=s, arrival_time=a)
+        for i, (t, a, s) in enumerate(specs)
+    ]
+
+
+def fcfs_cluster(rates: TableRates, m: int, contexts: int = 2) -> Cluster:
+    return Cluster(
+        rates,
+        [FcfsScheduler(rates, contexts) for _ in range(m)],
+        RoundRobinDispatcher(),
+    )
+
+
+class TestClusterBasics:
+    def test_round_robin_splits_batch(self, unit_rates):
+        """Two simultaneous jobs land on different machines and finish
+        in parallel at t=1."""
+        metrics = fcfs_cluster(unit_rates, 2).run(
+            jobs_at(("A", 0.0, 1.0), ("A", 0.0, 1.0))
+        )
+        assert metrics.completed == 2
+        assert metrics.mean_turnaround == pytest.approx(1.0)
+        for machine in metrics.per_machine:
+            assert machine.completed == 1
+            assert machine.measured_time == pytest.approx(1.0)
+
+    def test_single_machine_cluster_behaves_like_engine(self, unit_rates):
+        metrics = fcfs_cluster(unit_rates, 1).run(
+            jobs_at(("A", 0.0, 2.0), ("B", 0.0, 1.0))
+        )
+        assert metrics.n_machines == 1
+        assert metrics.completed == 2
+        assert metrics.work_done == pytest.approx(3.0)
+
+    def test_idle_machine_accumulates_empty_time(self, unit_rates):
+        """With one job on a 2-machine cluster, the second machine is
+        empty for the whole window (the flush covers its tail)."""
+        metrics = fcfs_cluster(unit_rates, 2).run(
+            jobs_at(("A", 0.0, 2.0))
+        )
+        busy, idle = metrics.per_machine
+        assert busy.completed == 1
+        assert idle.completed == 0
+        assert idle.measured_time == pytest.approx(2.0)
+        assert idle.empty_fraction == pytest.approx(1.0)
+        assert metrics.empty_fraction == pytest.approx(0.5)
+
+    def test_staggered_arrivals_cross_machines(self, unit_rates):
+        """Arrivals while another machine is mid-job progress lazily."""
+        metrics = fcfs_cluster(unit_rates, 2).run(
+            jobs_at(("A", 0.0, 3.0), ("B", 1.0, 1.0), ("A", 1.5, 0.5))
+        )
+        assert metrics.completed == 3
+        assert metrics.work_done == pytest.approx(4.5)
+        # Machine 0 got jobs 0 and 2 (round-robin), machine 1 job 1.
+        assert metrics.per_machine[0].completed == 2
+        assert metrics.per_machine[1].completed == 1
+
+    def test_per_machine_cap_bounds_concurrency(self, unit_rates):
+        metrics = fcfs_cluster(unit_rates, 2).run(
+            jobs_at(*[("A", 0.0, 1.0) for _ in range(8)]),
+            keep_in_system=2,
+        )
+        assert metrics.completed == 8
+        for machine in metrics.per_machine:
+            assert machine.utilization <= 2.0 + 1e-9
+
+    def test_stop_when_fewer_than_counts_cluster_wide(self, unit_rates):
+        metrics = fcfs_cluster(unit_rates, 2, contexts=1).run(
+            jobs_at(*[("A", 0.0, 1.0) for _ in range(6)]),
+            stop_when_fewer_than=2,
+        )
+        # The threshold is cluster-wide: the run stops only when a
+        # single job remains in the whole cluster, not per machine.
+        assert metrics.completed == 5
+
+    def test_horizon_stops_all_machines(self, unit_rates):
+        metrics = fcfs_cluster(unit_rates, 2).run(
+            jobs_at(("A", 0.0, 100.0), ("B", 0.0, 100.0)),
+            horizon=5.0,
+        )
+        assert metrics.completed == 0
+        for machine in metrics.per_machine:
+            assert machine.measured_time == pytest.approx(5.0)
+
+    def test_warmup_discards_early_observations(self, unit_rates):
+        metrics = fcfs_cluster(unit_rates, 2).run(
+            jobs_at(("A", 0.0, 1.0), ("A", 0.0, 1.0), ("A", 10.0, 1.0)),
+            warmup_time=5.0,
+        )
+        assert metrics.completed == 1
+        for machine in metrics.per_machine:
+            assert machine.measured_time == pytest.approx(6.0)
+
+    def test_many_machines_conserve_work(self, unit_rates):
+        sizes = [0.3 * (i % 5 + 1) for i in range(40)]
+        metrics = fcfs_cluster(unit_rates, 8).run(
+            jobs_at(*[("A", 0.1 * i, s) for i, s in enumerate(sizes)])
+        )
+        assert metrics.completed == 40
+        assert metrics.work_done == pytest.approx(sum(sizes), rel=1e-9)
+
+    def test_cluster_throughput_sums_machines(self, unit_rates):
+        metrics = fcfs_cluster(unit_rates, 2).run(
+            jobs_at(("A", 0.0, 2.0), ("B", 0.0, 2.0))
+        )
+        assert metrics.throughput == pytest.approx(
+            sum(m.throughput for m in metrics.per_machine)
+        )
+        assert metrics.utilization == pytest.approx(2.0)
+
+
+class TestClusterGuards:
+    def test_needs_at_least_one_machine(self, unit_rates):
+        with pytest.raises(SimulationError):
+            Cluster(unit_rates, [], RoundRobinDispatcher())
+
+    def test_out_of_order_arrivals_rejected(self, unit_rates):
+        stream = [
+            Job(job_id=0, job_type="A", size=1.0, arrival_time=5.0),
+            Job(job_id=1, job_type="A", size=1.0, arrival_time=1.0),
+        ]
+        with pytest.raises(SimulationError, match="out of order"):
+            fcfs_cluster(unit_rates, 2).run(stream)
+
+    def test_zero_rate_rejected(self):
+        rates = TableRates({("A",): {"A": 0.0}})
+        with pytest.raises(SimulationError, match="zero rate"):
+            run_cluster(
+                rates,
+                [FcfsScheduler(rates, 1)],
+                RoundRobinDispatcher(),
+                jobs_at(("A", 0.0, 1.0)),
+            )
+
+    def test_event_budget_enforced(self, unit_rates):
+        with pytest.raises(SimulationError, match="exceeded"):
+            fcfs_cluster(unit_rates, 2).run(
+                jobs_at(*[("A", 0.0, 1.0) for _ in range(10)]),
+                max_events=2,
+            )
+
+    def test_bad_dispatcher_target_rejected(self, unit_rates):
+        class Elsewhere(Dispatcher):
+            name = "elsewhere"
+
+            def route(self, job, machines, eligible, clock):
+                return len(machines)  # out of range
+
+        with pytest.raises(SimulationError, match="routed to invalid"):
+            run_cluster(
+                unit_rates,
+                [FcfsScheduler(unit_rates, 2) for _ in range(2)],
+                Elsewhere(),
+                jobs_at(("A", 0.0, 1.0)),
+            )
+
+
+class TestRunRateMemo:
+    def test_memoizes_type_rates_per_canonical_key(self, unit_rates):
+        calls = []
+
+        class Counting:
+            def type_rates(self, coschedule):
+                calls.append(tuple(coschedule))
+                return unit_rates.type_rates(coschedule)
+
+        memo = RunRateMemo(Counting())
+        assert memo.type_rates(("B", "A")) == {"A": 1.0, "B": 1.0}
+        assert memo.type_rates(("A", "B")) == {"A": 1.0, "B": 1.0}
+        assert calls == [("A", "B")]
+
+    def test_per_job_rates_divide_by_multiplicity(self, unit_rates):
+        memo = RunRateMemo(unit_rates)
+        assert memo.per_job_rates(("A", "A")) == {"A": 1.0}
+        assert memo.per_job_rates(()) == {}
+
+    def test_delegates_unknown_attributes(self, unit_rates):
+        memo = RunRateMemo(unit_rates)
+        assert memo.coschedules() == unit_rates.coschedules()
+
+    def test_schedulers_share_the_run_memo(self, unit_rates):
+        """During a run, every scheduler probe goes through one memo:
+        the underlying source sees each multiset at most once."""
+        calls = []
+
+        class Counting:
+            def type_rates(self, coschedule):
+                calls.append(tuple(coschedule))
+                return unit_rates.type_rates(coschedule)
+
+        source = Counting()
+        schedulers = [make_scheduler("maxit", source, 2) for _ in range(2)]
+        run_cluster(
+            source,
+            schedulers,
+            RoundRobinDispatcher(),
+            jobs_at(*[("A" if i % 2 else "B", 0.0, 1.0) for i in range(6)]),
+        )
+        assert len(calls) == len(set(calls))
+        # The original source is restored once the run ends.
+        assert all(s.rates is source for s in schedulers)
+
+
+class TestJsqComposition:
+    def test_jsq_balances_uneven_service(self, unit_rates):
+        """JSQ sends newcomers to the machine that drained."""
+        metrics = run_cluster(
+            unit_rates,
+            [FcfsScheduler(unit_rates, 1) for _ in range(2)],
+            JoinShortestQueueDispatcher(),
+            jobs_at(
+                ("A", 0.0, 5.0),  # machine 0, long
+                ("A", 0.0, 1.0),  # machine 1, short
+                ("A", 1.5, 1.0),  # machine 1 is empty again -> goes there
+            ),
+        )
+        assert metrics.per_machine[0].completed == 1
+        assert metrics.per_machine[1].completed == 2
+
+
+class TestClusterMetrics:
+    def test_mean_turnaround_requires_completions(self):
+        metrics = ClusterMetrics(per_machine=())
+        with pytest.raises(SimulationError):
+            metrics.mean_turnaround

@@ -1,0 +1,155 @@
+"""Unit tests for the cluster dispatch policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.errors import WorkloadError
+from repro.microarch.rates import TableRates
+from repro.queueing.cluster import Machine
+from repro.queueing.dispatch import (
+    JoinShortestQueueDispatcher,
+    RoundRobinDispatcher,
+    SymbiosisAffinityDispatcher,
+    make_dispatcher,
+)
+from repro.queueing.job import Job
+from repro.queueing.schedulers import FcfsScheduler
+
+
+AB = Workload.of("A", "B")
+
+#: A and B are strongly symbiotic: mixed pairs run at full speed while
+#: same-type pairs suffer heavy interference, so the LP's optimal
+#: schedule spends all its time in ("A", "B").
+SYMBIOTIC = TableRates(
+    {
+        ("A",): {"A": 1.0},
+        ("B",): {"B": 1.0},
+        ("A", "A"): {"A": 1.0},
+        ("A", "B"): {"A": 1.0, "B": 1.0},
+        ("B", "B"): {"B": 1.0},
+    }
+)
+
+
+def machines_with(*queues: str) -> list[Machine]:
+    """Machines whose queues hold jobs of the given type strings."""
+    result = []
+    job_id = 0
+    for i, types in enumerate(queues):
+        machine = Machine(
+            machine_id=i, scheduler=FcfsScheduler(SYMBIOTIC, 2)
+        )
+        for t in types:
+            machine.jobs.append(
+                Job(job_id=job_id, job_type=t, size=1.0, arrival_time=0.0)
+            )
+            job_id += 1
+        result.append(machine)
+    return result
+
+
+def job_of(job_type: str) -> Job:
+    return Job(job_id=999, job_type=job_type, size=1.0, arrival_time=0.0)
+
+
+class TestRoundRobin:
+    def test_cycles_through_all_machines(self):
+        dispatcher = RoundRobinDispatcher()
+        machines = machines_with("", "", "")
+        eligible = [0, 1, 2]
+        picks = [
+            dispatcher.route(job_of("A"), machines, eligible, 0.0)
+            for _ in range(6)
+        ]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_machines_without_room(self):
+        dispatcher = RoundRobinDispatcher()
+        machines = machines_with("", "", "")
+        assert dispatcher.route(job_of("A"), machines, [1, 2], 0.0) == 1
+        assert dispatcher.route(job_of("A"), machines, [0, 2], 0.0) == 2
+        assert dispatcher.route(job_of("A"), machines, [0, 1], 0.0) == 0
+
+    def test_custom_start(self):
+        dispatcher = RoundRobinDispatcher(start=2)
+        machines = machines_with("", "", "")
+        assert dispatcher.route(job_of("A"), machines, [0, 1, 2], 0.0) == 2
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(WorkloadError):
+            RoundRobinDispatcher(start=-1)
+
+
+class TestJoinShortestQueue:
+    def test_picks_fewest_jobs(self):
+        dispatcher = JoinShortestQueueDispatcher()
+        machines = machines_with("AA", "A", "AAA")
+        assert dispatcher.route(job_of("A"), machines, [0, 1, 2], 0.0) == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        dispatcher = JoinShortestQueueDispatcher()
+        machines = machines_with("A", "A", "AA")
+        assert dispatcher.route(job_of("A"), machines, [0, 1, 2], 0.0) == 0
+
+    def test_respects_eligibility(self):
+        dispatcher = JoinShortestQueueDispatcher()
+        machines = machines_with("", "AA", "A")
+        assert dispatcher.route(job_of("A"), machines, [1, 2], 0.0) == 2
+
+
+class TestSymbiosisAffinity:
+    def test_affinity_table_prefers_mixed_pairs(self):
+        dispatcher = SymbiosisAffinityDispatcher(SYMBIOTIC, AB, contexts=2)
+        # The optimal schedule co-runs A with B, never A with A.
+        assert dispatcher.affinity[("A", "B")] == pytest.approx(1.0)
+        assert ("A", "A") not in dispatcher.affinity
+
+    def test_routes_by_type_toward_symbiotic_queue(self):
+        dispatcher = SymbiosisAffinityDispatcher(SYMBIOTIC, AB, contexts=2)
+        # Queues of equal length: one holds A jobs, one holds B jobs.
+        machines = machines_with("A", "B")
+        # A B job is symbiotic with the A queue, and vice versa.
+        assert dispatcher.route(job_of("B"), machines, [0, 1], 0.0) == 0
+        assert dispatcher.route(job_of("A"), machines, [0, 1], 0.0) == 1
+
+    def test_load_still_rules_first_order(self):
+        dispatcher = SymbiosisAffinityDispatcher(
+            SYMBIOTIC, AB, contexts=2, slack=1
+        )
+        # The symbiotic queue is far longer than the empty machine, so
+        # the shortlist excludes it and load balancing wins.
+        machines = machines_with("AAAA", "")
+        assert dispatcher.route(job_of("B"), machines, [0, 1], 0.0) == 1
+
+    def test_slack_must_be_non_negative(self):
+        with pytest.raises(WorkloadError):
+            SymbiosisAffinityDispatcher(SYMBIOTIC, AB, contexts=2, slack=-1)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("round_robin", RoundRobinDispatcher),
+            ("rr", RoundRobinDispatcher),
+            ("jsq", JoinShortestQueueDispatcher),
+            ("join-shortest-queue", JoinShortestQueueDispatcher),
+        ],
+    )
+    def test_simple_names(self, name, cls):
+        assert isinstance(make_dispatcher(name), cls)
+
+    def test_affinity_needs_rates_and_workload(self):
+        with pytest.raises(WorkloadError, match="offline LP"):
+            make_dispatcher("affinity")
+        dispatcher = make_dispatcher(
+            "affinity", rates=SYMBIOTIC, workload=AB, contexts=2
+        )
+        assert isinstance(dispatcher, SymbiosisAffinityDispatcher)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown dispatcher"):
+            make_dispatcher("teleport")
