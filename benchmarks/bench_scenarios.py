@@ -1,0 +1,46 @@
+"""Benchmark: the scenario sweep (nonstationary workloads x dispatch).
+
+Times the full scenario registry — bursty MMPP, diurnal, batch storms,
+heavy-tailed/bimodal sizes, skewed types, saturation, trace replay —
+against all three dispatchers on the cluster simulator.  The
+assertions are the sweep's structural invariants: every cell ran to
+completion, fairness is a valid balance ratio, and the saturated
+scenario keeps the cluster busier than the baseline's offered load.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import sample_workloads
+from repro.experiments.scenario_sweep import (
+    DISPATCHERS,
+    compute_scenario_sweep,
+)
+from repro.queueing.scenarios import all_scenarios
+
+
+def bench(context):
+    workload = sample_workloads(context.workloads, 1, seed=11)[0]
+    return compute_scenario_sweep(
+        context.smt_rates, workload, n_jobs=600, seed=0
+    )
+
+
+def test_scenarios(benchmark, context):
+    outcomes = benchmark.pedantic(
+        bench, args=(context,), rounds=1, iterations=1
+    )
+    assert len(outcomes) == len(all_scenarios()) * len(DISPATCHERS)
+    by_scenario = {}
+    for outcome in outcomes:
+        assert outcome.completed > 0, outcome
+        assert 0.0 <= outcome.fairness <= 1.0, outcome
+        assert outcome.throughput > 0.0, outcome
+        by_scenario.setdefault(outcome.scenario, []).append(outcome)
+    # Saturation packs the machines harder than the 70%-load baseline.
+    saturated = max(
+        o.utilization for o in by_scenario["saturated_backlog"]
+    )
+    baseline = max(
+        o.utilization for o in by_scenario["baseline_poisson"]
+    )
+    assert saturated > baseline

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.errors import ModelError, WorkloadError
 from repro.core.workload import Workload
-from repro.microarch.rates import RateSource
+from repro.microarch.rates import RateSource, infer_contexts
 from repro.util.multiset import multisets, replace_one
 from repro.util.rng import make_rng
 
@@ -53,20 +53,6 @@ class FcfsResult:
     def fraction_of(self, coschedule) -> float:
         """Time fraction of a coschedule (0.0 if never visited)."""
         return self.fractions.get(tuple(sorted(coschedule)), 0.0)
-
-
-def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
-    if contexts is not None:
-        if contexts <= 0:
-            raise WorkloadError(f"contexts must be positive, got {contexts}")
-        return contexts
-    machine = getattr(rates, "machine", None)
-    if machine is not None:
-        return machine.contexts
-    raise WorkloadError(
-        "cannot infer the number of contexts from this rate source; "
-        "pass contexts=K explicitly"
-    )
 
 
 def _draw_probabilities(
@@ -107,7 +93,7 @@ def fcfs_throughput(
         ModelError: if some coschedule has a type with zero rate (the
             chain would stall there).
     """
-    k = _infer_contexts(rates, contexts)
+    k = infer_contexts(rates, contexts)
     draw = _draw_probabilities(workload, type_weights)
     states = list(multisets(workload.types, k))
     index = {s: i for i, s in enumerate(states)}
@@ -184,7 +170,7 @@ def simulate_fcfs_throughput(
     is fully loaded for the entire measured interval (no drain tail with
     idle contexts — this is a *maximum throughput* experiment).
     """
-    k = _infer_contexts(rates, contexts)
+    k = infer_contexts(rates, contexts)
     if n_jobs < k:
         raise WorkloadError(f"need at least {k} jobs, got {n_jobs}")
     if job_size <= 0.0:

@@ -26,7 +26,7 @@ from repro.core.optimal import OptimalSchedule, optimal_throughput
 from repro.core.workload import Workload
 from repro.errors import SolverError, WorkloadError
 from repro.lp.model import LinearExpr, Model, Sense
-from repro.microarch.rates import RateSource
+from repro.microarch.rates import RateSource, infer_contexts
 
 __all__ = [
     "MultiMachineSchedule",
@@ -59,17 +59,6 @@ class MultiMachineSchedule:
         return self.throughput / self.n_machines
 
 
-def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
-    if contexts is not None:
-        return contexts
-    machine = getattr(rates, "machine", None)
-    if machine is not None:
-        return machine.contexts
-    raise WorkloadError(
-        "cannot infer the number of contexts; pass contexts=K explicitly"
-    )
-
-
 def joint_optimal_throughput(
     rates: RateSource,
     workload: Workload,
@@ -87,7 +76,7 @@ def joint_optimal_throughput(
     """
     if n_machines <= 0:
         raise WorkloadError(f"n_machines must be positive, got {n_machines}")
-    k = _infer_contexts(rates, contexts)
+    k = infer_contexts(rates, contexts)
     coschedules = workload.coschedules(k)
     type_rates = {s: rates.type_rates(s) for s in coschedules}
 

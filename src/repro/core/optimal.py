@@ -24,7 +24,7 @@ from typing import Mapping, Sequence
 from repro.errors import SolverError, WorkloadError
 from repro.core.workload import Workload
 from repro.lp.model import LinearExpr, Model, Sense
-from repro.microarch.rates import RateSource
+from repro.microarch.rates import RateSource, infer_contexts
 
 __all__ = ["OptimalSchedule", "optimal_throughput", "worst_throughput"]
 
@@ -76,21 +76,6 @@ class OptimalSchedule:
         return self.fractions.get(tuple(sorted(coschedule)), 0.0)
 
 
-def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
-    """Context count from the rate source's machine, or the argument."""
-    if contexts is not None:
-        if contexts <= 0:
-            raise WorkloadError(f"contexts must be positive, got {contexts}")
-        return contexts
-    machine = getattr(rates, "machine", None)
-    if machine is not None:
-        return machine.contexts
-    raise WorkloadError(
-        "cannot infer the number of contexts from this rate source; "
-        "pass contexts=K explicitly"
-    )
-
-
 def _normalize_weights(
     workload: Workload, type_weights: Mapping[str, float] | None
 ) -> dict[str, float]:
@@ -116,7 +101,7 @@ def _solve(
     backend: str,
     type_weights: Mapping[str, float] | None = None,
 ) -> OptimalSchedule:
-    k = _infer_contexts(rates, contexts)
+    k = infer_contexts(rates, contexts)
     coschedules = workload.coschedules(k)
     type_rates = {s: rates.type_rates(s) for s in coschedules}
     weights = _normalize_weights(workload, type_weights)

@@ -35,7 +35,7 @@ from repro.experiments.common import (
     sample_workloads,
 )
 from repro.experiments.registry import Experiment, RunOptions, register
-from repro.microarch.rates import RateSource
+from repro.microarch.rates import RateSource, infer_contexts
 from repro.queueing.cluster import run_cluster
 from repro.queueing.dispatch import make_dispatcher
 from repro.queueing.engine import run_system
@@ -76,18 +76,6 @@ def balanced_saturated_jobs(
         Job(job_id=i, job_type=t, size=1.0, arrival_time=0.0)
         for i, t in enumerate(pool)
     ]
-
-
-def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
-    if contexts is not None:
-        return contexts
-    probe: object | None = rates
-    while probe is not None:
-        machine = getattr(probe, "machine", None)
-        if machine is not None:
-            return machine.contexts
-        probe = getattr(probe, "source", None)
-    raise ValueError("cannot infer contexts; pass contexts=K explicitly")
 
 
 @dataclass(frozen=True)
@@ -156,7 +144,7 @@ def compute_cluster(
     a saturated M-machine cluster simulation, and M independent
     saturated single-machine simulations whose throughputs sum.
     """
-    k = _infer_contexts(rates, contexts)
+    k = infer_contexts(rates, contexts)
     comparisons = []
     for workload in workloads:
         joint = joint_optimal_throughput(

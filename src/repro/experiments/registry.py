@@ -55,6 +55,7 @@ EXPERIMENT_MODULES: tuple[str, ...] = (
     "repro.experiments.units_exp",
     "repro.experiments.skew_exp",
     "repro.experiments.cluster_exp",
+    "repro.experiments.scenario_sweep",
     "repro.experiments.summary",
 )
 

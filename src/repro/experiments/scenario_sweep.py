@@ -1,0 +1,304 @@
+"""Scenario sweep: every workload scenario × every dispatch policy.
+
+The paper's queueing experiments probe one operating point (Poisson
+arrivals, exponential sizes).  This experiment runs the full scenario
+registry (:mod:`repro.queueing.scenarios` — bursty MMPP, diurnal,
+batch storms, heavy-tailed and bimodal sizes, skewed types, saturation,
+trace replay) against the three cluster dispatchers (round-robin, JSQ,
+symbiosis-affinity) on the multi-machine simulator, and reports
+throughput / latency / fairness — each row a delta against round-robin
+on the same traffic.
+
+Offered load is normalized per scenario: the mean *job* arrival rate is
+``load × M × single-machine LP throughput ÷ mean job size``, so every
+non-saturated scenario offers the same fraction of cluster capacity in
+work units regardless of its size law.  Fairness is per-machine
+utilization balance (min/max across machines, 1.0 = perfectly even) —
+the dispatcher-level quantity the cluster metrics expose directly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.optimal import optimal_throughput
+from repro.core.workload import Workload
+from repro.experiments.common import (
+    ExperimentContext,
+    format_table,
+    sample_workloads,
+)
+from repro.experiments.registry import Experiment, RunOptions, register
+from repro.microarch.rates import RateSource, infer_contexts
+from repro.queueing.cluster import ClusterMetrics, run_cluster
+from repro.queueing.dispatch import make_dispatcher
+from repro.queueing.scenarios import Scenario, all_scenarios
+from repro.queueing.schedulers import make_scheduler
+
+__all__ = [
+    "DISPATCHERS",
+    "ScenarioOutcome",
+    "compute_scenario_sweep",
+    "run",
+    "render",
+]
+
+#: The dispatch policies every scenario is swept against; the first is
+#: the baseline the delta columns compare to.
+DISPATCHERS: tuple[str, ...] = ("round_robin", "jsq", "affinity")
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One (scenario, dispatcher) cell of the sweep.
+
+    Attributes:
+        scenario: scenario name.
+        dispatcher: dispatch policy.
+        n_machines: cluster size M.
+        n_jobs: jobs generated for the run.
+        mean_rate: offered mean job rate (0 for saturated scenarios).
+        throughput: cluster work rate (WIPC) over the run.
+        mean_turnaround: average turnaround of completed jobs.
+        utilization: average busy contexts, cluster-wide.
+        empty_fraction: mean per-machine fraction of empty time.
+        fairness: min/max per-machine utilization (1.0 = even).
+        completed: jobs completed inside the measurement window.
+    """
+
+    scenario: str
+    dispatcher: str
+    n_machines: int
+    n_jobs: int
+    mean_rate: float
+    throughput: float
+    mean_turnaround: float
+    utilization: float
+    empty_fraction: float
+    fairness: float
+    completed: int
+
+
+def _fairness(metrics: ClusterMetrics) -> float:
+    """Per-machine utilization balance: min/max across machines."""
+    utils = [m.utilization for m in metrics.per_machine]
+    top = max(utils)
+    if top <= 0.0:
+        return 1.0
+    return min(utils) / top
+
+
+def _scenario_seed(base: int, name: str) -> int:
+    """Deterministic per-scenario seed (stable across sweep order)."""
+    return (base * 1_000_003 + zlib.crc32(name.encode())) % 2**31
+
+
+def run_scenario(
+    rates: RateSource,
+    workload: Workload,
+    scenario: Scenario,
+    dispatcher: str,
+    *,
+    n_machines: int = 3,
+    scheduler: str = "maxtp",
+    n_jobs: int | None = None,
+    seed: int = 0,
+    contexts: int | None = None,
+    capacity: float | None = None,
+) -> ScenarioOutcome:
+    """Run one (scenario, dispatcher) cell on the cluster simulator.
+
+    ``capacity`` is the cluster's LP work rate (M × single-machine
+    optimum); pass it when sweeping to amortize the LP solve, else it
+    is computed here.
+    """
+    k = infer_contexts(rates, contexts)
+    if capacity is None:
+        capacity = n_machines * optimal_throughput(
+            rates, workload, contexts=k
+        ).throughput
+    count = scenario.n_jobs if n_jobs is None else n_jobs
+    mean_rate = (
+        0.0
+        if scenario.saturated
+        else scenario.load * capacity / scenario.mean_size
+    )
+    stream = scenario.build_jobs(
+        workload.types,
+        mean_rate=mean_rate,
+        seed=_scenario_seed(seed, scenario.name),
+        n_jobs=count,
+    )
+    schedulers = [
+        make_scheduler(scheduler, rates, k, workload=workload)
+        for _ in range(n_machines)
+    ]
+    metrics = run_cluster(
+        rates,
+        schedulers,
+        make_dispatcher(
+            dispatcher, rates=rates, workload=workload, contexts=k
+        ),
+        stream,
+        stop_when_fewer_than=(
+            n_machines * k if scenario.saturated else None
+        ),
+        keep_in_system=(
+            scenario.backlog_per_machine if scenario.saturated else None
+        ),
+    )
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        dispatcher=dispatcher,
+        n_machines=n_machines,
+        n_jobs=count,
+        mean_rate=mean_rate,
+        throughput=metrics.throughput,
+        mean_turnaround=(
+            metrics.mean_turnaround if metrics.completed else float("nan")
+        ),
+        utilization=metrics.utilization,
+        empty_fraction=metrics.empty_fraction,
+        fairness=_fairness(metrics),
+        completed=metrics.completed,
+    )
+
+
+def compute_scenario_sweep(
+    rates: RateSource,
+    workload: Workload,
+    *,
+    scenarios: Sequence[Scenario] | None = None,
+    dispatchers: Sequence[str] = DISPATCHERS,
+    n_machines: int = 3,
+    scheduler: str = "maxtp",
+    n_jobs: int | None = None,
+    seed: int = 0,
+    contexts: int | None = None,
+) -> list[ScenarioOutcome]:
+    """Sweep every scenario against every dispatcher on one workload."""
+    k = infer_contexts(rates, contexts)
+    capacity = n_machines * optimal_throughput(
+        rates, workload, contexts=k
+    ).throughput
+    outcomes = []
+    for scenario in scenarios if scenarios is not None else all_scenarios():
+        for dispatcher in dispatchers:
+            outcomes.append(
+                run_scenario(
+                    rates,
+                    workload,
+                    scenario,
+                    dispatcher,
+                    n_machines=n_machines,
+                    scheduler=scheduler,
+                    n_jobs=n_jobs,
+                    seed=seed,
+                    contexts=k,
+                    capacity=capacity,
+                )
+            )
+    return outcomes
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    config: str = "smt",
+    n_machines: int = 3,
+    n_jobs: int | None = None,
+    seed: int = 0,
+) -> list[ScenarioOutcome]:
+    """The sweep on one deterministically sampled workload."""
+    workload = sample_workloads(context.workloads, 1, seed=seed)[0]
+    return compute_scenario_sweep(
+        context.rates_for(config),
+        workload,
+        n_machines=n_machines,
+        n_jobs=n_jobs,
+        seed=seed,
+    )
+
+
+def render(outcomes: list[ScenarioOutcome]) -> str:
+    """Text rendering: one row per cell, deltas against round-robin."""
+    if not outcomes:
+        return "no scenarios swept"
+    baseline: dict[str, ScenarioOutcome] = {}
+    for outcome in outcomes:
+        baseline.setdefault(outcome.scenario, outcome)
+
+    def delta(value: float, reference: float) -> str:
+        if reference == 0.0 or value != value or reference != reference:
+            return "n/a"
+        return f"{value / reference - 1.0:+.1%}"
+
+    rows = []
+    for o in outcomes:
+        ref = baseline[o.scenario]
+        rows.append((
+            o.scenario,
+            o.dispatcher,
+            f"{o.throughput:.3f}",
+            f"{o.mean_turnaround:.3f}",
+            f"{o.utilization:.2f}",
+            f"{o.fairness:.3f}",
+            delta(o.throughput, ref.throughput),
+            delta(o.mean_turnaround, ref.mean_turnaround),
+        ))
+    table = format_table(
+        [
+            "scenario",
+            "dispatcher",
+            "TP",
+            "turnaround",
+            "busy ctx",
+            "fairness",
+            "dTP",
+            "dTurn",
+        ],
+        rows,
+    )
+
+    winners = []
+    for name, ref in baseline.items():
+        cells = [o for o in outcomes if o.scenario == name]
+        best = min(
+            cells,
+            key=lambda o: (
+                o.mean_turnaround
+                if o.mean_turnaround == o.mean_turnaround
+                else float("inf")
+            ),
+        )
+        winners.append(f"{name}: {best.dispatcher}")
+    m = outcomes[0].n_machines
+    summary = (
+        f"\n\n{len(baseline)} scenarios x "
+        f"{len({o.dispatcher for o in outcomes})} dispatchers on a "
+        f"{m}-machine cluster (deltas vs {outcomes[0].dispatcher}).\n"
+        "lowest turnaround per scenario: " + "; ".join(winners)
+    )
+    return table + summary
+
+
+def _registry_run(
+    context: ExperimentContext, options: RunOptions
+) -> list[ScenarioOutcome]:
+    return run(
+        context,
+        n_jobs=400 if options.quick else None,
+        seed=options.seed_for("scenario_sweep"),
+    )
+
+
+register(Experiment(
+    name="scenario_sweep",
+    kind="analysis",
+    title="Scenario sweep — nonstationary & trace-driven workloads x "
+    "dispatch policies",
+    run=_registry_run,
+    render=render,
+))

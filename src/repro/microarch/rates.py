@@ -37,6 +37,7 @@ __all__ = [
     "RateTable",
     "TableRates",
     "canonical_coschedule",
+    "infer_contexts",
     "instantaneous_throughput",
 ]
 
@@ -44,6 +45,34 @@ __all__ = [
 def canonical_coschedule(names: Iterable[str]) -> tuple[str, ...]:
     """Canonical (sorted-tuple) form of a job-name multiset."""
     return tuple(sorted(names))
+
+
+def infer_contexts(rates: object, contexts: int | None = None) -> int:
+    """Context count from an explicit argument or the rate source.
+
+    With ``contexts`` given, validates and returns it.  Otherwise the
+    source (and any chain of wrappers exposing ``source``) is probed
+    for a machine-bearing object — a
+    :class:`RateTable`-style source carries its
+    :class:`~repro.microarch.config.MachineConfig`, and cache/memo
+    wrappers delegate or expose the wrapped source.  The one shared
+    implementation behind every ``contexts=K`` default in the
+    analysis and queueing layers.
+    """
+    if contexts is not None:
+        if contexts <= 0:
+            raise WorkloadError(f"contexts must be positive, got {contexts}")
+        return contexts
+    probe: object | None = rates
+    while probe is not None:
+        machine = getattr(probe, "machine", None)
+        if machine is not None:
+            return machine.contexts
+        probe = getattr(probe, "source", None)
+    raise WorkloadError(
+        "cannot infer the number of contexts from this rate source; "
+        "pass contexts=K explicitly"
+    )
 
 
 @runtime_checkable

@@ -44,7 +44,37 @@ from repro.queueing.dispatch import (
     make_dispatcher,
 )
 from repro.queueing.engine import run_system
-from repro.queueing.arrivals import poisson_arrivals, saturated_arrivals
+from repro.queueing.arrivals import (
+    batch_arrivals,
+    diurnal_arrivals,
+    mmpp_arrivals,
+    poisson_arrivals,
+    saturated_arrivals,
+)
+from repro.queueing.sizes import (
+    BimodalSizes,
+    BoundedParetoSizes,
+    ExponentialSizes,
+    FixedSizes,
+    SizeModel,
+    make_size_model,
+)
+from repro.queueing.trace import (
+    TraceRecorder,
+    jobs_from_trace,
+    load_trace,
+    save_trace,
+    trace_arrivals,
+    trace_from_jobs,
+)
+from repro.queueing.scenarios import (
+    SCENARIOS,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.queueing.schedulers import (
     FcfsScheduler,
     LongJobFirstScheduler,
@@ -80,6 +110,27 @@ __all__ = [
     "run_system",
     "poisson_arrivals",
     "saturated_arrivals",
+    "mmpp_arrivals",
+    "diurnal_arrivals",
+    "batch_arrivals",
+    "SizeModel",
+    "ExponentialSizes",
+    "FixedSizes",
+    "BoundedParetoSizes",
+    "BimodalSizes",
+    "make_size_model",
+    "TraceRecorder",
+    "trace_from_jobs",
+    "jobs_from_trace",
+    "save_trace",
+    "load_trace",
+    "trace_arrivals",
+    "Scenario",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
     "Scheduler",
     "FcfsScheduler",
     "MaxItScheduler",

@@ -1,28 +1,125 @@
-"""Arrival processes for the queueing experiments.
+"""Arrival processes for the queueing experiments and scenarios.
 
 The paper (following Snavely et al.) assumes exponentially distributed
 job inter-arrival times and job sizes.  :func:`poisson_arrivals`
 generates exactly that; :func:`saturated_arrivals` front-loads every job
 at time zero, which turns the latency experiment into the
 maximum-throughput experiment of Figure 6 (the machine never starves).
+
+The scenario subsystem (:mod:`repro.queueing.scenarios`) adds the
+traffic shapes cluster traces actually exhibit:
+
+* :func:`mmpp_arrivals` — a cyclic Markov-modulated Poisson process:
+  the arrival rate jumps between states (burst / lull), producing the
+  correlated bursts that break PASTA-style intuition.
+* :func:`diurnal_arrivals` — a sinusoidally-modulated Poisson process
+  (exact Lewis–Shedler thinning): the day/night load swing.
+* :func:`batch_arrivals` — Poisson batch epochs with geometric batch
+  sizes: many jobs landing in the same instant.
+
+Trace replay lives in :mod:`repro.queueing.trace`.
+
+RNG streams
+-----------
+
+Every generator here draws from *purpose-derived* streams
+(:func:`repro.util.rng.derive_rng`): inter-arrival times, job types,
+and job sizes each get their own child generator.  Swapping the size
+distribution of a scenario therefore never reorders the arrival-time
+draws — the timestamps are bit-identical across size models.
+
+One deliberate exception: the **legacy path** of
+:func:`poisson_arrivals` / :func:`saturated_arrivals` (no
+``size_model``, no ``type_weights``) keeps the seed engine's original
+single-stream draw order — inter-arrival, type, size, interleaved —
+because every Section-VI artifact is pinned bit-identical to it
+(``tests/unit/test_arrivals.py::TestLegacyCompatibility`` hard-codes
+the expected stream).  Passing ``size_model`` or ``type_weights``
+opts into the derived-stream path.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.errors import SimulationError
 from repro.queueing.job import Job
-from repro.util.rng import make_rng
+from repro.queueing.sizes import SizeModel, make_size_model
+from repro.util.rng import derive_rng, make_rng
 
-__all__ = ["poisson_arrivals", "saturated_arrivals"]
+__all__ = [
+    "poisson_arrivals",
+    "saturated_arrivals",
+    "mmpp_arrivals",
+    "diurnal_arrivals",
+    "batch_arrivals",
+]
+
+_INF = float("inf")
 
 
 def _job_size(rng: random.Random, mean_size: float, fixed: bool) -> float:
     if fixed:
         return mean_size
     return rng.expovariate(1.0 / mean_size)
+
+
+def _check_types(types: Sequence[str]) -> list[str]:
+    if not types:
+        raise SimulationError("need at least one job type")
+    return list(types)
+
+
+def _check_n_jobs(n_jobs: int) -> None:
+    if n_jobs < 0:
+        raise SimulationError(f"n_jobs must be >= 0, got {n_jobs}")
+
+
+class _JobFactory:
+    """Types and sizes from their own derived streams (new-path only).
+
+    Centralizes the per-purpose RNG split: ``types`` draws never
+    interleave with ``sizes`` draws, so the type sequence of a scenario
+    is invariant under size-model swaps and vice versa.
+    """
+
+    def __init__(
+        self,
+        types: Sequence[str],
+        type_weights: Mapping[str, float] | None,
+        size_model: SizeModel | Mapping[str, object] | None,
+        seed: "int | random.Random",
+    ) -> None:
+        self.types = _check_types(types)
+        self.model = make_size_model(size_model)
+        self.weights: list[float] | None = None
+        if type_weights is not None:
+            weights = [float(type_weights.get(t, 0.0)) for t in self.types]
+            if any(w < 0.0 for w in weights):
+                raise SimulationError("type weights must be non-negative")
+            if sum(weights) <= 0.0:
+                raise SimulationError(
+                    "type weights must have positive total over the types"
+                )
+            self.weights = weights
+        self._type_rng = derive_rng(seed, "types")
+        self._size_rng = derive_rng(seed, "sizes")
+
+    def job(self, job_id: int, arrival_time: float) -> Job:
+        if self.weights is None:
+            job_type = self._type_rng.choice(self.types)
+        else:
+            job_type = self._type_rng.choices(
+                self.types, weights=self.weights
+            )[0]
+        return Job(
+            job_id=job_id,
+            job_type=job_type,
+            size=self.model.sample(self._size_rng),
+            arrival_time=arrival_time,
+        )
 
 
 def poisson_arrivals(
@@ -32,16 +129,24 @@ def poisson_arrivals(
     n_jobs: int,
     mean_size: float = 1.0,
     fixed_sizes: bool = False,
+    size_model: SizeModel | Mapping[str, object] | None = None,
+    type_weights: Mapping[str, float] | None = None,
     seed: int | random.Random = 0,
 ) -> Iterator[Job]:
-    """Poisson arrivals with uniformly random types.
+    """Poisson arrivals; uniform random types unless weighted.
 
     Args:
-        types: equiprobable job types.
+        types: job types (equiprobable unless ``type_weights``).
         rate: arrival rate in jobs per unit time.
         n_jobs: number of jobs to generate.
-        mean_size: mean job size (work units).
-        fixed_sizes: use constant ``mean_size`` instead of exponential.
+        mean_size: mean job size (legacy path; ignored with
+            ``size_model``).
+        fixed_sizes: use constant ``mean_size`` instead of exponential
+            (legacy path; ignored with ``size_model``).
+        size_model: optional :class:`~repro.queueing.sizes.SizeModel`
+            (or its spec dict); opts into the derived-stream path.
+        type_weights: optional type → weight map; opts into the
+            derived-stream path.
         seed: RNG seed or generator.
 
     Yields:
@@ -49,20 +154,28 @@ def poisson_arrivals(
     """
     if rate <= 0.0:
         raise SimulationError(f"arrival rate must be positive, got {rate}")
-    if n_jobs < 0:
-        raise SimulationError(f"n_jobs must be >= 0, got {n_jobs}")
-    if not types:
-        raise SimulationError("need at least one job type")
-    rng = make_rng(seed)
+    _check_n_jobs(n_jobs)
+    _check_types(types)
+    if size_model is None and type_weights is None:
+        # Legacy single-stream path, frozen for bit-compatibility with
+        # the seed engine's Section-VI artifacts (see module docstring).
+        rng = make_rng(seed)
+        clock = 0.0
+        for job_id in range(n_jobs):
+            clock += rng.expovariate(rate)
+            yield Job(
+                job_id=job_id,
+                job_type=rng.choice(list(types)),
+                size=_job_size(rng, mean_size, fixed_sizes),
+                arrival_time=clock,
+            )
+        return
+    factory = _JobFactory(types, type_weights, size_model, seed)
+    times = derive_rng(seed, "arrivals")
     clock = 0.0
     for job_id in range(n_jobs):
-        clock += rng.expovariate(rate)
-        yield Job(
-            job_id=job_id,
-            job_type=rng.choice(list(types)),
-            size=_job_size(rng, mean_size, fixed_sizes),
-            arrival_time=clock,
-        )
+        clock += times.expovariate(rate)
+        yield factory.job(job_id, clock)
 
 
 def saturated_arrivals(
@@ -71,22 +184,210 @@ def saturated_arrivals(
     n_jobs: int,
     mean_size: float = 1.0,
     fixed_sizes: bool = False,
+    size_model: SizeModel | Mapping[str, object] | None = None,
+    type_weights: Mapping[str, float] | None = None,
     seed: int | random.Random = 0,
 ) -> Iterator[Job]:
     """All jobs available at time zero: the maximum-throughput workload.
 
     Equivalent to an arrival rate far above the service rate, as in the
     paper's Figure-6 experiment ("arrival rate > maximum throughput").
+    Like :func:`poisson_arrivals`, the legacy signature keeps the seed
+    engine's single-stream draw order; ``size_model`` / ``type_weights``
+    use derived streams.
     """
-    if n_jobs < 0:
-        raise SimulationError(f"n_jobs must be >= 0, got {n_jobs}")
-    if not types:
-        raise SimulationError("need at least one job type")
-    rng = make_rng(seed)
+    _check_n_jobs(n_jobs)
+    _check_types(types)
+    if size_model is None and type_weights is None:
+        rng = make_rng(seed)
+        for job_id in range(n_jobs):
+            yield Job(
+                job_id=job_id,
+                job_type=rng.choice(list(types)),
+                size=_job_size(rng, mean_size, fixed_sizes),
+                arrival_time=0.0,
+            )
+        return
+    factory = _JobFactory(types, type_weights, size_model, seed)
     for job_id in range(n_jobs):
-        yield Job(
-            job_id=job_id,
-            job_type=rng.choice(list(types)),
-            size=_job_size(rng, mean_size, fixed_sizes),
-            arrival_time=0.0,
+        yield factory.job(job_id, 0.0)
+
+
+def mmpp_arrivals(
+    types: Sequence[str],
+    *,
+    state_rates: Sequence[float],
+    mean_dwells: Sequence[float],
+    n_jobs: int,
+    size_model: SizeModel | Mapping[str, object] | None = None,
+    type_weights: Mapping[str, float] | None = None,
+    seed: int | random.Random = 0,
+) -> Iterator[Job]:
+    """Cyclic Markov-modulated Poisson arrivals (bursty traffic).
+
+    The modulating chain cycles through its states (0 → 1 → … → 0);
+    state *s* lasts an exponential dwell with mean ``mean_dwells[s]``
+    and emits arrivals at rate ``state_rates[s]`` while active.  A
+    two-state (burst, lull) instance is the classic bursty-traffic
+    model; with every ``state_rates[s]`` equal the process degenerates
+    to a plain Poisson process of that rate (the modulation becomes
+    unobservable), which a property test checks distributionally.
+
+    The long-run mean rate is the dwell-weighted state-rate average:
+    ``sum(r_s * d_s) / sum(d_s)``.
+
+    Args:
+        types: job types.
+        state_rates: arrival rate per modulating state (>= 0, at least
+            one positive).
+        mean_dwells: mean dwell time per state (> 0), same length.
+        n_jobs: number of jobs to generate.
+        size_model: job-size law (default unit-mean exponential).
+        type_weights: optional type → weight map (default uniform).
+        seed: RNG seed or generator.
+    """
+    _check_n_jobs(n_jobs)
+    if len(state_rates) != len(mean_dwells) or not state_rates:
+        raise SimulationError(
+            "state_rates and mean_dwells must be equal-length and non-empty"
         )
+    if any(rate < 0.0 for rate in state_rates):
+        raise SimulationError("state rates must be non-negative")
+    if not any(rate > 0.0 for rate in state_rates):
+        raise SimulationError("at least one state rate must be positive")
+    if any(dwell <= 0.0 for dwell in mean_dwells):
+        raise SimulationError("mean dwell times must be positive")
+    factory = _JobFactory(types, type_weights, size_model, seed)
+    times = derive_rng(seed, "arrivals")
+    n_states = len(state_rates)
+    clock = 0.0
+    state = 0
+    dwell_left = times.expovariate(1.0 / mean_dwells[state])
+    for job_id in range(n_jobs):
+        while True:
+            rate = state_rates[state]
+            gap = times.expovariate(rate) if rate > 0.0 else _INF
+            if gap <= dwell_left:
+                clock += gap
+                dwell_left -= gap
+                break
+            # The dwell expires first: advance to the switch and redraw
+            # the arrival gap in the new state (exact by memorylessness).
+            clock += dwell_left
+            state = (state + 1) % n_states
+            dwell_left = times.expovariate(1.0 / mean_dwells[state])
+        yield factory.job(job_id, clock)
+
+
+def diurnal_arrivals(
+    types: Sequence[str],
+    *,
+    base_rate: float,
+    amplitude: float,
+    period: float,
+    n_jobs: int,
+    size_model: SizeModel | Mapping[str, object] | None = None,
+    type_weights: Mapping[str, float] | None = None,
+    seed: int | random.Random = 0,
+) -> Iterator[Job]:
+    """Sinusoidal-rate Poisson arrivals (the day/night swing).
+
+    The instantaneous rate is ``base_rate * (1 + amplitude *
+    sin(2*pi*t/period))``, sampled exactly by Lewis–Shedler thinning
+    against the peak rate.  The long-run mean rate is ``base_rate``
+    (the sine averages out over whole periods).
+
+    Args:
+        types: job types.
+        base_rate: mean arrival rate (> 0).
+        amplitude: relative swing in [0, 1]; 0 degenerates to Poisson,
+            1 silences the trough entirely.
+        period: cycle length in simulation time units (> 0).
+        n_jobs: number of jobs to generate.
+        size_model: job-size law (default unit-mean exponential).
+        type_weights: optional type → weight map (default uniform).
+        seed: RNG seed or generator.
+    """
+    _check_n_jobs(n_jobs)
+    if base_rate <= 0.0:
+        raise SimulationError(f"base_rate must be positive, got {base_rate}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise SimulationError(
+            f"amplitude must be in [0, 1], got {amplitude}"
+        )
+    if period <= 0.0:
+        raise SimulationError(f"period must be positive, got {period}")
+    factory = _JobFactory(types, type_weights, size_model, seed)
+    times = derive_rng(seed, "arrivals")
+    peak = base_rate * (1.0 + amplitude)
+    two_pi = 2.0 * math.pi
+    clock = 0.0
+    for job_id in range(n_jobs):
+        while True:
+            clock += times.expovariate(peak)
+            rate = base_rate * (
+                1.0 + amplitude * math.sin(two_pi * clock / period)
+            )
+            if times.random() * peak <= rate:
+                break
+        yield factory.job(job_id, clock)
+
+
+def batch_arrivals(
+    types: Sequence[str],
+    *,
+    batch_rate: float,
+    mean_batch_size: float,
+    n_jobs: int,
+    size_model: SizeModel | Mapping[str, object] | None = None,
+    type_weights: Mapping[str, float] | None = None,
+    seed: int | random.Random = 0,
+) -> Iterator[Job]:
+    """Poisson batch epochs, geometric batch sizes (arrival storms).
+
+    Batch epochs form a Poisson process of rate ``batch_rate``; each
+    epoch lands a shifted-geometric number of jobs (support 1, 2, …,
+    mean ``mean_batch_size``) at the *same* timestamp — the scenario
+    that stresses dispatchers hardest, since a whole batch must be
+    placed against one queue snapshot.  The long-run mean job rate is
+    ``batch_rate * mean_batch_size``; the final batch is truncated at
+    ``n_jobs``.
+
+    Args:
+        types: job types.
+        batch_rate: batch-epoch rate (> 0).
+        mean_batch_size: mean jobs per batch (>= 1).
+        n_jobs: total jobs to generate (last batch truncated).
+        size_model: job-size law (default unit-mean exponential).
+        type_weights: optional type → weight map (default uniform).
+        seed: RNG seed or generator.
+    """
+    _check_n_jobs(n_jobs)
+    if batch_rate <= 0.0:
+        raise SimulationError(
+            f"batch_rate must be positive, got {batch_rate}"
+        )
+    if mean_batch_size < 1.0:
+        raise SimulationError(
+            f"mean_batch_size must be >= 1, got {mean_batch_size}"
+        )
+    factory = _JobFactory(types, type_weights, size_model, seed)
+    times = derive_rng(seed, "arrivals")
+    success = 1.0 / mean_batch_size
+    clock = 0.0
+    job_id = 0
+    while job_id < n_jobs:
+        clock += times.expovariate(batch_rate)
+        if success >= 1.0:
+            batch = 1
+        else:
+            # Inverse-CDF shifted geometric: P(K = k) = p * (1-p)^(k-1).
+            u = times.random()
+            batch = max(
+                1, math.ceil(math.log1p(-u) / math.log1p(-success))
+            )
+        for _ in range(batch):
+            if job_id >= n_jobs:
+                break
+            yield factory.job(job_id, clock)
+            job_id += 1

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.core.fcfs import fcfs_throughput
 from repro.core.workload import Workload
 from repro.errors import WorkloadError
-from repro.microarch.rates import RateSource
+from repro.microarch.rates import RateSource, infer_contexts
 from repro.queueing.arrivals import poisson_arrivals, saturated_arrivals
 from repro.queueing.engine import run_system
 from repro.queueing.schedulers import make_scheduler
@@ -38,22 +38,6 @@ __all__ = [
     "run_latency_experiment",
     "run_saturation_experiment",
 ]
-
-
-def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
-    if contexts is not None:
-        return contexts
-    # Walk through cache wrappers (anything exposing ``source``) until a
-    # machine-bearing source turns up.
-    probe: object | None = rates
-    while probe is not None:
-        machine = getattr(probe, "machine", None)
-        if machine is not None:
-            return machine.contexts
-        probe = getattr(probe, "source", None)
-    raise WorkloadError(
-        "cannot infer the number of contexts; pass contexts=K explicitly"
-    )
 
 
 @dataclass(frozen=True)
@@ -135,7 +119,7 @@ def run_latency_experiment(
     """
     if not 0.0 < load:
         raise WorkloadError(f"load must be positive, got {load}")
-    k = _infer_contexts(rates, contexts)
+    k = infer_contexts(rates, contexts)
     max_tp = fcfs_throughput(rates, workload, contexts=k).throughput
     arrival_rate = load * max_tp / mean_size
 
@@ -183,7 +167,7 @@ def run_saturation_experiment(
     jobs than contexts remain, so the machine is fully loaded for the
     whole measurement window (no drain tail with idle contexts).
     """
-    k = _infer_contexts(rates, contexts)
+    k = infer_contexts(rates, contexts)
     if backlog < k:
         raise WorkloadError(f"backlog {backlog} must be at least K={k}")
     scheduler = make_scheduler(scheduler_name, rates, k, workload=workload)

@@ -19,24 +19,13 @@ from dataclasses import dataclass
 
 from repro.core.workload import Workload
 from repro.errors import WorkloadError
-from repro.microarch.rates import RateSource
+from repro.microarch.rates import RateSource, infer_contexts
 from repro.queueing.arrivals import saturated_arrivals
 from repro.queueing.engine import run_system
 from repro.queueing.schedulers import make_scheduler
 from repro.queueing.system import SystemMetrics
 
 __all__ = ["MakespanResult", "run_makespan_experiment"]
-
-
-def _infer_contexts(rates: RateSource, contexts: int | None) -> int:
-    if contexts is not None:
-        return contexts
-    machine = getattr(rates, "machine", None)
-    if machine is not None:
-        return machine.contexts
-    raise WorkloadError(
-        "cannot infer the number of contexts; pass contexts=K explicitly"
-    )
 
 
 @dataclass(frozen=True)
@@ -86,7 +75,7 @@ def run_makespan_experiment(
     experiment ends when the system is empty — including the drain tail
     that the paper says dominates such small-set comparisons.
     """
-    k = _infer_contexts(rates, contexts)
+    k = infer_contexts(rates, contexts)
     if n_jobs <= 0:
         raise WorkloadError(f"n_jobs must be positive, got {n_jobs}")
     scheduler = make_scheduler(

@@ -1,0 +1,211 @@
+"""Job-size distributions for the workload scenarios.
+
+The paper (following Snavely et al.) assumes exponentially distributed
+job sizes; real cluster traces are famously *not* exponential — they
+mix mice and elephants (bimodal) or follow heavy-tailed laws whose few
+huge jobs dominate the offered work.  This module packages size laws
+as small :class:`SizeModel` objects so arrival processes can sample
+any of them from a dedicated RNG stream:
+
+* :class:`ExponentialSizes` — the paper's default (memoryless).
+* :class:`FixedSizes` — deterministic unit work (variability ablation).
+* :class:`BoundedParetoSizes` — heavy-tailed work with a hard upper
+  bound, the standard model for "most jobs are tiny, a few are huge".
+* :class:`BimodalSizes` — an explicit mice/elephants mixture of two
+  exponentials.
+
+Every model is a frozen dataclass with an exact :attr:`mean` (used by
+experiments to convert offered load into an arrival rate) and a
+JSON-able :meth:`spec`; :func:`make_size_model` rebuilds a model from
+such a spec, so scenarios and recorded traces serialize cleanly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "SizeModel",
+    "ExponentialSizes",
+    "FixedSizes",
+    "BoundedParetoSizes",
+    "BimodalSizes",
+    "make_size_model",
+]
+
+
+class SizeModel(ABC):
+    """One job-size law: a mean, a sampler, and a serializable spec."""
+
+    kind: str = "base"
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Exact mean job size (work units)."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one job size from ``rng`` (always > 0)."""
+
+    def spec(self) -> dict[str, object]:
+        """JSON-able description; :func:`make_size_model` inverts it."""
+        payload: dict[str, object] = {"kind": self.kind}
+        payload.update(asdict(self))  # type: ignore[call-overload]
+        return payload
+
+
+@dataclass(frozen=True)
+class ExponentialSizes(SizeModel):
+    """Exponential sizes — the paper's (and M/M/K's) assumption."""
+
+    mean_size: float = 1.0
+    kind = "exponential"
+
+    def __post_init__(self) -> None:
+        if self.mean_size <= 0.0:
+            raise SimulationError(
+                f"mean_size must be positive, got {self.mean_size}"
+            )
+
+    @property
+    def mean(self) -> float:
+        return self.mean_size
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_size)
+
+
+@dataclass(frozen=True)
+class FixedSizes(SizeModel):
+    """Every job has exactly the same size (zero variability)."""
+
+    size: float = 1.0
+    kind = "fixed"
+
+    def __post_init__(self) -> None:
+        if self.size <= 0.0:
+            raise SimulationError(f"size must be positive, got {self.size}")
+
+    @property
+    def mean(self) -> float:
+        return self.size
+
+    def sample(self, rng: random.Random) -> float:
+        return self.size
+
+
+@dataclass(frozen=True)
+class BoundedParetoSizes(SizeModel):
+    """Bounded Pareto on ``[lower, upper]`` with tail index ``alpha``.
+
+    Heavy-tailed work: density ∝ x^-(alpha+1) truncated to the bounds.
+    ``alpha`` in (1, 2) gives the classic "elephants carry most of the
+    work" regime while the upper bound keeps every simulated run
+    finite.  Sampling is exact inverse-CDF, one uniform per job.
+    """
+
+    alpha: float = 1.5
+    lower: float = 0.1
+    upper: float = 50.0
+    kind = "bounded_pareto"
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise SimulationError(f"alpha must be positive, got {self.alpha}")
+        if not 0.0 < self.lower < self.upper:
+            raise SimulationError(
+                f"need 0 < lower < upper, got [{self.lower}, {self.upper}]"
+            )
+
+    @property
+    def mean(self) -> float:
+        low, high, alpha = self.lower, self.upper, self.alpha
+        ratio = (low / high) ** alpha
+        if alpha == 1.0:
+            return low * math.log(high / low) / (1.0 - ratio)
+        return (
+            (alpha / (alpha - 1.0))
+            * low**alpha
+            * (low ** (1.0 - alpha) - high ** (1.0 - alpha))
+            / (1.0 - ratio)
+        )
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        ratio = (self.lower / self.upper) ** self.alpha
+        return self.lower * (1.0 - u * (1.0 - ratio)) ** (-1.0 / self.alpha)
+
+
+@dataclass(frozen=True)
+class BimodalSizes(SizeModel):
+    """Mice/elephants mixture: two exponentials, explicit weights.
+
+    With probability ``large_fraction`` a job is an elephant (mean
+    ``large_mean``), otherwise a mouse (mean ``small_mean``).  A small
+    ``large_fraction`` with a large mean ratio reproduces the common
+    trace shape where a few percent of jobs carry most of the work.
+    """
+
+    small_mean: float = 0.5
+    large_mean: float = 10.0
+    large_fraction: float = 0.05
+    kind = "bimodal"
+
+    def __post_init__(self) -> None:
+        if self.small_mean <= 0.0 or self.large_mean <= 0.0:
+            raise SimulationError("both modal means must be positive")
+        if not 0.0 <= self.large_fraction <= 1.0:
+            raise SimulationError(
+                f"large_fraction must be in [0, 1], got {self.large_fraction}"
+            )
+
+    @property
+    def mean(self) -> float:
+        return (
+            (1.0 - self.large_fraction) * self.small_mean
+            + self.large_fraction * self.large_mean
+        )
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.large_fraction:
+            return rng.expovariate(1.0 / self.large_mean)
+        return rng.expovariate(1.0 / self.small_mean)
+
+
+_MODELS: dict[str, type[SizeModel]] = {
+    "exponential": ExponentialSizes,
+    "fixed": FixedSizes,
+    "bounded_pareto": BoundedParetoSizes,
+    "bimodal": BimodalSizes,
+}
+
+
+def make_size_model(spec: SizeModel | dict[str, object] | None) -> SizeModel:
+    """Build a :class:`SizeModel` from a spec dict (or pass one through).
+
+    ``None`` means the default unit-mean exponential law.  The spec
+    format is exactly what :meth:`SizeModel.spec` emits:
+    ``{"kind": "bounded_pareto", "alpha": 1.5, ...}``.
+    """
+    if spec is None:
+        return ExponentialSizes()
+    if isinstance(spec, SizeModel):
+        return spec
+    payload = dict(spec)
+    kind = payload.pop("kind", None)
+    if kind not in _MODELS:
+        raise SimulationError(
+            f"unknown size model {kind!r}; choose one of {sorted(_MODELS)}"
+        )
+    try:
+        return _MODELS[kind](**payload)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise SimulationError(
+            f"bad {kind!r} size-model spec {payload!r}: {exc}"
+        ) from exc

@@ -75,7 +75,10 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     if sxx == 0.0 or syy == 0.0:
         return 0.0
     sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
-    return sxy / math.sqrt(sxx * syy)
+    # Clamp: catastrophic cancellation on near-degenerate samples
+    # (spreads at the float-epsilon scale) can push the ratio a hair
+    # past the mathematical bound of |r| <= 1.
+    return max(-1.0, min(1.0, sxy / math.sqrt(sxx * syy)))
 
 
 def slope_through_origin(

@@ -9,6 +9,16 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-trace expectations under "
+        "tests/golden/ instead of checking against them",
+    )
+
 from repro.core.workload import Workload
 from repro.microarch.config import quad_core_machine, smt_machine
 from repro.microarch.rates import RateTable, TableRates

@@ -1,0 +1,295 @@
+"""Golden-trace regression harness for the cluster simulator.
+
+``tests/golden/`` commits, for every (scenario, dispatcher) pair, a
+small JSON workload trace plus the exact
+:class:`~repro.queueing.cluster.ClusterMetrics` the engine produced on
+it.  Two locks per pair:
+
+* **generator lock** — rebuilding the scenario's stream from its
+  pinned seed must reproduce the committed trace bit for bit (any
+  drift in the arrival processes, size laws, or RNG stream derivation
+  fails here);
+* **engine lock** — running the *committed* trace through the cluster
+  simulator must reproduce the committed metrics (any drift in the
+  event loop, schedulers, or dispatch policies fails here, with a
+  per-field diff naming exactly what moved).
+
+The runs use a frozen synthetic rate table defined below, NOT the
+microarch model — the harness pins the queueing/dispatch stack in
+isolation, so evolving the simulator that *feeds* it rates never
+churns these files.
+
+Refreshing after an intentional engine change::
+
+    python -m pytest tests/integration/test_golden_traces.py \
+        --update-golden -q
+
+then commit the rewritten ``tests/golden/*.json`` and explain the
+drift in the PR description.  The ``--update-golden`` run still
+executes every pair (regenerate + simulate), so a crash-level
+regression cannot silently produce fresh goldens.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.optimal import optimal_throughput
+from repro.core.workload import Workload
+from repro.experiments.registry import to_jsonable
+from repro.microarch.rates import TableRates
+from repro.queueing.cluster import ClusterMetrics, run_cluster
+from repro.queueing.dispatch import make_dispatcher
+from repro.queueing.job import Job
+from repro.queueing.scenarios import get_scenario, scenario_names
+from repro.queueing.schedulers import make_scheduler
+from repro.queueing.trace import jobs_from_trace, trace_from_jobs
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+#: Frozen 3-type / 2-context rate table with real symbiosis structure:
+#: mixed pairs beat same-type pairs, and C is the slow memory-bound
+#: type.  Changing these values invalidates every golden file — don't.
+GOLDEN_RATES = TableRates(
+    {
+        ("A",): {"A": 1.0},
+        ("B",): {"B": 0.9},
+        ("C",): {"C": 0.6},
+        ("A", "A"): {"A": 1.5},
+        ("B", "B"): {"B": 1.2},
+        ("C", "C"): {"C": 0.7},
+        ("A", "B"): {"A": 0.95, "B": 0.85},
+        ("A", "C"): {"A": 0.9, "C": 0.55},
+        ("B", "C"): {"B": 0.8, "C": 0.5},
+    }
+)
+GOLDEN_WORKLOAD = Workload.of("A", "B", "C")
+GOLDEN_CONTEXTS = 2
+GOLDEN_MACHINES = 2
+GOLDEN_JOBS = 60
+GOLDEN_SEED = 0
+DISPATCHERS = ("round_robin", "jsq", "affinity")
+#: Relative tolerance for the engine lock: loose enough for libm noise
+#: across platforms, tight enough that a single mis-stepped event (one
+#: job, one interval) is far outside it.
+REL_TOL = 1e-9
+
+PAIRS = [
+    (scenario, dispatcher)
+    for scenario in scenario_names()
+    for dispatcher in DISPATCHERS
+]
+
+
+def golden_path(scenario: str, dispatcher: str) -> Path:
+    return GOLDEN_DIR / f"{scenario}__{dispatcher}.json"
+
+
+def golden_mean_rate(scenario_name: str) -> float:
+    """Offered rate on the frozen table (recomputed only on update)."""
+    scenario = get_scenario(scenario_name)
+    if scenario.saturated:
+        return 0.0
+    capacity = GOLDEN_MACHINES * optimal_throughput(
+        GOLDEN_RATES, GOLDEN_WORKLOAD, contexts=GOLDEN_CONTEXTS
+    ).throughput
+    return scenario.load * capacity / scenario.mean_size
+
+
+def build_golden_stream(scenario_name: str, mean_rate: float) -> list[Job]:
+    return list(
+        get_scenario(scenario_name).build_jobs(
+            GOLDEN_WORKLOAD.types,
+            mean_rate=mean_rate,
+            seed=GOLDEN_SEED,
+            n_jobs=GOLDEN_JOBS,
+        )
+    )
+
+
+def run_golden_trace(
+    jobs: list[Job], scenario_name: str, dispatcher: str
+) -> ClusterMetrics:
+    """The frozen run configuration every golden file was made with."""
+    scenario = get_scenario(scenario_name)
+    schedulers = [
+        make_scheduler(
+            "maxtp", GOLDEN_RATES, GOLDEN_CONTEXTS,
+            workload=GOLDEN_WORKLOAD,
+        )
+        for _ in range(GOLDEN_MACHINES)
+    ]
+    return run_cluster(
+        GOLDEN_RATES,
+        schedulers,
+        make_dispatcher(
+            dispatcher,
+            rates=GOLDEN_RATES,
+            workload=GOLDEN_WORKLOAD,
+            contexts=GOLDEN_CONTEXTS,
+        ),
+        jobs,
+        stop_when_fewer_than=(
+            GOLDEN_MACHINES * GOLDEN_CONTEXTS
+            if scenario.saturated
+            else None
+        ),
+        keep_in_system=(
+            scenario.backlog_per_machine if scenario.saturated else None
+        ),
+    )
+
+
+def diff_payload(
+    expected: object, actual: object, path: str = ""
+) -> list[str]:
+    """Human-readable recursive diff of two JSON-able payloads."""
+    lines: list[str] = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            where = f"{path}.{key}" if path else str(key)
+            if key not in expected:
+                lines.append(f"  {where}: unexpected new entry {actual[key]!r}")
+            elif key not in actual:
+                lines.append(f"  {where}: missing (expected {expected[key]!r})")
+            else:
+                lines.extend(diff_payload(expected[key], actual[key], where))
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            lines.append(
+                f"  {path}: length {len(actual)} != expected {len(expected)}"
+            )
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            lines.extend(diff_payload(e, a, f"{path}[{i}]"))
+    elif isinstance(expected, float) and isinstance(actual, (int, float)):
+        scale = max(abs(expected), abs(actual), 1e-300)
+        if abs(expected - actual) / scale > REL_TOL:
+            lines.append(
+                f"  {path}: {actual!r} != expected {expected!r} "
+                f"(rel err {abs(expected - actual) / scale:.3e})"
+            )
+    elif expected != actual:
+        lines.append(f"  {path}: {actual!r} != expected {expected!r}")
+    return lines
+
+
+def regenerate(scenario: str, dispatcher: str) -> dict[str, object]:
+    mean_rate = golden_mean_rate(scenario)
+    jobs = build_golden_stream(scenario, mean_rate)
+    trace = trace_from_jobs(
+        jobs,
+        metadata={
+            "scenario": scenario,
+            "seed": GOLDEN_SEED,
+            "mean_rate": mean_rate,
+        },
+    )
+    # Replay from the serialized trace (not the generator's jobs) so
+    # the committed expectation is exactly what verification will run.
+    metrics = run_golden_trace(
+        jobs_from_trace(json.loads(json.dumps(trace))),
+        scenario,
+        dispatcher,
+    )
+    return {
+        "scenario": scenario,
+        "dispatcher": dispatcher,
+        "n_machines": GOLDEN_MACHINES,
+        "contexts": GOLDEN_CONTEXTS,
+        "seed": GOLDEN_SEED,
+        "mean_rate": mean_rate,
+        "trace": trace,
+        "expected": to_jsonable(metrics),
+    }
+
+
+@pytest.fixture(scope="module")
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize(
+        "scenario, dispatcher", PAIRS, ids=[f"{s}-{d}" for s, d in PAIRS]
+    )
+    def test_pair(self, scenario, dispatcher, update_golden):
+        path = golden_path(scenario, dispatcher)
+        if update_golden:
+            payload = regenerate(scenario, dispatcher)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden file {path.name}; run "
+                "`python -m pytest tests/integration/test_golden_traces.py "
+                "--update-golden` and commit the result"
+            )
+        golden = json.loads(path.read_text())
+
+        # Generator lock: the scenario must rebuild the committed
+        # trace bit for bit from its pinned seed and rate.
+        rebuilt = trace_from_jobs(
+            build_golden_stream(scenario, float(golden["mean_rate"])),
+            metadata=golden["trace"]["metadata"],
+        )
+        drift = diff_payload(golden["trace"], rebuilt)
+        if drift:
+            pytest.fail(
+                f"[{path.name}] arrival-process drift — the generator "
+                "no longer reproduces the committed trace:\n"
+                + "\n".join(drift[:20])
+                + "\n(run --update-golden only if this drift is "
+                "intentional)"
+            )
+
+        # Engine lock: the committed trace must reproduce the
+        # committed metrics through the cluster simulator.
+        metrics = run_golden_trace(
+            jobs_from_trace(golden["trace"]), scenario, dispatcher
+        )
+        drift = diff_payload(golden["expected"], to_jsonable(metrics))
+        if drift:
+            pytest.fail(
+                f"[{path.name}] engine drift — the cluster simulator "
+                "no longer reproduces the committed metrics:\n"
+                + "\n".join(drift[:20])
+                + "\n(run --update-golden only if this drift is "
+                "intentional)"
+            )
+
+
+class TestHarnessSensitivity:
+    """The harness must actually catch drift: a single perturbed event
+    produces a non-empty, readable diff."""
+
+    def test_one_job_perturbation_is_detected(self):
+        path = golden_path("baseline_poisson", "round_robin")
+        if not path.exists():
+            pytest.skip("golden files not generated yet")
+        golden = json.loads(path.read_text())
+        records = golden["trace"]["jobs"]
+        records[len(records) // 2]["size"] += 1e-3  # one event, barely
+        jobs = jobs_from_trace(golden["trace"])
+        metrics = run_golden_trace(jobs, "baseline_poisson", "round_robin")
+        drift = diff_payload(golden["expected"], to_jsonable(metrics))
+        assert drift, "a perturbed job must move the metrics"
+        assert any("work_done" in line or "turnaround" in line
+                   for line in drift)
+
+    def test_diff_is_readable(self):
+        lines = diff_payload(
+            {"a": 1.0, "b": {"c": [2.0]}},
+            {"a": 1.0, "b": {"c": [2.5]}},
+        )
+        assert lines == [
+            "  b.c[0]: 2.5 != expected 2.0 (rel err 2.000e-01)"
+        ]
+
+    def test_diff_tolerates_float_noise(self):
+        assert not diff_payload({"x": 1.0}, {"x": 1.0 + 1e-12})

@@ -129,6 +129,97 @@ class TestSymbiosisAffinity:
             SymbiosisAffinityDispatcher(SYMBIOTIC, AB, contexts=2, slack=-1)
 
 
+class TestEdgeCases:
+    """Boundary behaviors of the dispatch layer: degenerate clusters,
+    exact ties, and types the offline LP has never seen."""
+
+    def test_empty_cluster_is_rejected(self):
+        from repro.errors import SimulationError
+        from repro.queueing.cluster import Cluster
+
+        with pytest.raises(SimulationError, match="at least one machine"):
+            Cluster(SYMBIOTIC, [], RoundRobinDispatcher())
+
+    def test_round_robin_with_no_eligible_machine_raises(self):
+        dispatcher = RoundRobinDispatcher()
+        machines = machines_with("", "")
+        with pytest.raises(WorkloadError, match="no eligible"):
+            dispatcher.route(job_of("A"), machines, [], 0.0)
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: RoundRobinDispatcher(),
+            lambda: JoinShortestQueueDispatcher(),
+            lambda: SymbiosisAffinityDispatcher(SYMBIOTIC, AB, contexts=2),
+        ],
+        ids=["round_robin", "jsq", "affinity"],
+    )
+    def test_single_machine_cluster_always_routes_to_it(self, build):
+        dispatcher = build()
+        machines = machines_with("AB")
+        for _ in range(5):
+            assert dispatcher.route(job_of("A"), machines, [0], 0.0) == 0
+
+    def test_jsq_all_equal_ties_are_deterministic(self):
+        """Identical queues everywhere: JSQ must always pick the lowest
+        index, on every call, for any machine count."""
+        for m in (2, 3, 5):
+            dispatcher = JoinShortestQueueDispatcher()
+            machines = machines_with(*["AB"] * m)
+            picks = {
+                dispatcher.route(job_of("A"), machines,
+                                 list(range(m)), 0.0)
+                for _ in range(10)
+            }
+            assert picks == {0}
+
+    def test_jsq_all_equal_ignores_eligibility_order(self):
+        dispatcher = JoinShortestQueueDispatcher()
+        machines = machines_with("A", "A", "A")
+        assert dispatcher.route(job_of("A"), machines, [2, 0, 1], 0.0) == 0
+        assert dispatcher.route(job_of("A"), machines, [2, 1], 0.0) == 1
+
+    def test_affinity_routes_type_absent_from_lp_solution(self):
+        """A job type the offline LP never saw has zero affinity with
+        every queue; the dispatcher must fall back to
+        shortest-queue-then-lowest-index instead of failing."""
+        dispatcher = SymbiosisAffinityDispatcher(SYMBIOTIC, AB, contexts=2)
+        machines = machines_with("A", "AB", "")
+        assert ("Z", "A") not in dispatcher.affinity
+        assert dispatcher.route(job_of("Z"), machines, [0, 1, 2], 0.0) == 2
+        # Slack keeps the one-job queue in the shortlist; zero affinity
+        # everywhere, so shorter-queue-then-lowest-index decides.
+        machines = machines_with("A", "B")
+        assert dispatcher.route(job_of("Z"), machines, [0, 1], 0.0) == 0
+
+    def test_affinity_with_empty_queues_everywhere(self):
+        dispatcher = SymbiosisAffinityDispatcher(SYMBIOTIC, AB, contexts=2)
+        machines = machines_with("", "", "")
+        assert dispatcher.route(job_of("A"), machines, [0, 1, 2], 0.0) == 0
+
+    def test_single_machine_end_to_end_run(self):
+        """A 1-machine cluster driven through each dispatcher completes
+        every job (the M=1 degenerate case of the event loop)."""
+        from repro.queueing.cluster import run_cluster
+        from repro.queueing.job import Job
+
+        jobs = [
+            Job(job_id=i, job_type="AB"[i % 2], size=1.0,
+                arrival_time=0.5 * i)
+            for i in range(6)
+        ]
+        for name in ("round_robin", "jsq"):
+            metrics = run_cluster(
+                SYMBIOTIC,
+                [FcfsScheduler(SYMBIOTIC, 2)],
+                make_dispatcher(name),
+                (Job(job_id=j.job_id, job_type=j.job_type, size=j.size,
+                     arrival_time=j.arrival_time) for j in jobs),
+            )
+            assert metrics.completed == 6
+
+
 class TestFactory:
     @pytest.mark.parametrize(
         "name, cls",

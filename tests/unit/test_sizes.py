@@ -1,0 +1,119 @@
+"""Tests for the job-size distributions."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.queueing.sizes import (
+    BimodalSizes,
+    BoundedParetoSizes,
+    ExponentialSizes,
+    FixedSizes,
+    make_size_model,
+)
+
+ALL_MODELS = [
+    ExponentialSizes(mean_size=2.0),
+    FixedSizes(size=1.5),
+    BoundedParetoSizes(alpha=1.5, lower=0.1, upper=50.0),
+    BoundedParetoSizes(alpha=1.0, lower=0.2, upper=20.0),
+    BimodalSizes(small_mean=0.5, large_mean=10.0, large_fraction=0.05),
+]
+
+
+class TestSampling:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_empirical_mean_matches_exact_mean(self, model):
+        rng = random.Random(7)
+        samples = [model.sample(rng) for _ in range(60_000)]
+        assert statistics.mean(samples) == pytest.approx(
+            model.mean, rel=0.1
+        )
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_samples_positive_and_deterministic(self, model):
+        a = [model.sample(random.Random(3)) for _ in range(50)]
+        b = [model.sample(random.Random(3)) for _ in range(50)]
+        assert a == b
+        assert all(s > 0.0 for s in a)
+
+    def test_bounded_pareto_respects_bounds(self):
+        model = BoundedParetoSizes(alpha=1.5, lower=0.1, upper=50.0)
+        rng = random.Random(1)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert min(samples) >= model.lower
+        assert max(samples) <= model.upper
+        # Heavy tail: the top percentile carries far more than its
+        # share of the work.
+        samples.sort()
+        top = sum(samples[-200:])
+        assert top / sum(samples) > 0.05
+
+    def test_fixed_is_constant(self):
+        model = FixedSizes(size=2.5)
+        rng = random.Random(0)
+        assert {model.sample(rng) for _ in range(10)} == {2.5}
+
+    def test_bimodal_mixes_both_modes(self):
+        model = BimodalSizes(
+            small_mean=0.5, large_mean=50.0, large_fraction=0.2
+        )
+        rng = random.Random(5)
+        samples = [model.sample(rng) for _ in range(5_000)]
+        large = sum(1 for s in samples if s > 5.0)
+        assert 0.05 < large / len(samples) < 0.4
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_spec_rebuilds_identical_model(self, model):
+        rebuilt = make_size_model(model.spec())
+        assert rebuilt == model
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        assert [model.sample(rng_a) for _ in range(20)] == [
+            rebuilt.sample(rng_b) for _ in range(20)
+        ]
+
+    def test_none_is_unit_exponential(self):
+        model = make_size_model(None)
+        assert model == ExponentialSizes(mean_size=1.0)
+
+    def test_model_passes_through(self):
+        model = FixedSizes(size=3.0)
+        assert make_size_model(model) is model
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown size model"):
+            make_size_model({"kind": "zipf"})
+
+    def test_malformed_spec_keys_raise_simulation_error(self):
+        """A typo'd key in a hand-edited spec stays inside the
+        library's error contract instead of leaking a TypeError."""
+        with pytest.raises(SimulationError, match="bad 'fixed'"):
+            make_size_model({"kind": "fixed", "sise": 2.0})
+
+
+class TestValidation:
+    def test_exponential_needs_positive_mean(self):
+        with pytest.raises(SimulationError):
+            ExponentialSizes(mean_size=0.0)
+
+    def test_fixed_needs_positive_size(self):
+        with pytest.raises(SimulationError):
+            FixedSizes(size=-1.0)
+
+    def test_pareto_bounds_ordered(self):
+        with pytest.raises(SimulationError):
+            BoundedParetoSizes(alpha=1.5, lower=2.0, upper=1.0)
+        with pytest.raises(SimulationError):
+            BoundedParetoSizes(alpha=0.0, lower=0.1, upper=1.0)
+
+    def test_bimodal_fraction_in_range(self):
+        with pytest.raises(SimulationError):
+            BimodalSizes(large_fraction=1.5)
+        with pytest.raises(SimulationError):
+            BimodalSizes(small_mean=0.0)
