@@ -1,0 +1,103 @@
+"""Benchmark: the interned-type event-core hot path (perf point 0).
+
+Times the two fixed synthetic-rate workloads of
+:mod:`repro.queueing.hotpath` — the saturated MAXIT/SRPT probing
+cluster and the bursty MAXTP + affinity scenario run — on the compiled
+fast path, and checks them against the committed ``BENCH_CORE.json``
+perf trajectory with a generous tolerance (CI hardware varies; only a
+wholesale regression fails).  A correctness assertion pins the fast
+path to the legacy string path on the MAXIT workload: identical
+completions, work, and turnarounds.
+
+Refreshing the baseline after an intentional perf-relevant change::
+
+    python tools/profile_hotpaths.py --json BENCH_CORE.json
+
+Run with ``-s`` (or check the benchmark JSON) to see the run-memo
+hit/miss stats each workload printed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import to_jsonable
+from repro.queueing.hotpath import HOTPATH_WORKLOADS, saturated_cluster
+
+#: CI machines differ; a committed baseline only bounds a fresh
+#: measurement up to this factor.  Override with REPRO_PERF_TOLERANCE
+#: (set it to 0 to skip the timing gate, e.g. on very slow hardware —
+#: the completion-count and memo-efficacy assertions still run).
+BASELINE_TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "2.0"))
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_CORE.json"
+
+
+def committed_baseline() -> dict[str, dict]:
+    """The committed trajectory's most recent per-workload numbers."""
+    if not BASELINE_PATH.exists():
+        return {}
+    payload = json.loads(BASELINE_PATH.read_text())
+    trajectory = payload.get("trajectory", [])
+    return trajectory[-1].get("benchmarks", {}) if trajectory else {}
+
+
+@pytest.mark.parametrize("workload", sorted(HOTPATH_WORKLOADS))
+def test_hotpath_legacy(benchmark, workload):
+    """The legacy string path, timed on *this* machine.
+
+    Not a gate by itself: it calibrates the absolute comparison in
+    ``tools/compare_bench.py`` (a slow CI runner is slow on both
+    paths, so the committed budget is scaled by the observed
+    legacy-path ratio) and feeds the fresh machine-local speedup
+    check.
+    """
+    runner = HOTPATH_WORKLOADS[workload]
+    metrics, _ = benchmark.pedantic(
+        runner, kwargs={"fast_path": False}, rounds=2, iterations=1
+    )
+    baseline = committed_baseline().get(workload)
+    if baseline:
+        assert metrics.completed == baseline["completed"]
+
+
+@pytest.mark.parametrize("workload", sorted(HOTPATH_WORKLOADS))
+def test_hotpath(benchmark, workload):
+    runner = HOTPATH_WORKLOADS[workload]
+    metrics, stats = benchmark.pedantic(runner, rounds=3, iterations=1)
+
+    # Cache efficacy is part of the contract: a steady-state run must
+    # overwhelmingly hit the memo (surface the numbers either way).
+    assert stats is not None
+    print(f"\n[{workload}] memo stats: {stats}")
+    assert stats["hits"] > stats["misses"], stats
+    benchmark.extra_info["memo_stats"] = stats
+    benchmark.extra_info["completed"] = metrics.completed
+
+    baseline = committed_baseline().get(workload)
+    if baseline:
+        # Completions are hardware-independent: they must match the
+        # committed baseline exactly (same workload, same engine).
+        assert metrics.completed == baseline["completed"]
+        if not BASELINE_TOLERANCE:
+            return
+        measured = benchmark.stats.stats.min
+        budget = baseline["fast_s"] * BASELINE_TOLERANCE
+        assert measured <= budget, (
+            f"{workload}: {measured:.3f}s exceeds {budget:.3f}s "
+            f"({BASELINE_TOLERANCE}x the committed {baseline['fast_s']:.3f}s "
+            "baseline) — the hot path regressed; see BENCH_CORE.json"
+        )
+
+
+def test_fast_path_matches_legacy_path():
+    """Spot-check (the exhaustive pin is the equivalence property
+    test): both paths produce identical ClusterMetrics on the
+    saturated MAXIT workload at a reduced size."""
+    fast, _ = saturated_cluster("maxit", n_jobs=600, fast_path=True)
+    legacy, _ = saturated_cluster("maxit", n_jobs=600, fast_path=False)
+    assert to_jsonable(fast) == to_jsonable(legacy)

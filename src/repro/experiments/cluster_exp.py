@@ -36,7 +36,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.registry import Experiment, RunOptions, register
 from repro.microarch.rates import RateSource, infer_contexts
-from repro.queueing.cluster import run_cluster
+from repro.queueing.cluster import Cluster
 from repro.queueing.dispatch import make_dispatcher
 from repro.queueing.engine import run_system
 from repro.queueing.job import Job
@@ -93,6 +93,10 @@ class ClusterComparison:
         independent_throughput: sum of M independent single-machine
             simulations (distinct arrival seeds).
         tolerance: relative tolerance used for the verdict.
+        memo_stats: the cluster run's rate-memo hit/miss counters and
+            layer sizes (see
+            :meth:`repro.queueing.ratememo.RunRateMemo.stats_dict`) —
+            cache efficacy, surfaced into runner JSON and renders.
     """
 
     workload_label: str
@@ -104,6 +108,7 @@ class ClusterComparison:
     cluster_throughput: float
     independent_throughput: float
     tolerance: float
+    memo_stats: dict | None = None
 
     @property
     def cluster_vs_independent(self) -> float:
@@ -158,12 +163,14 @@ def compute_cluster(
             make_scheduler(scheduler, rates, k, workload=workload)
             for _ in range(n_machines)
         ]
-        cluster_metrics = run_cluster(
+        cluster = Cluster(
             rates,
             schedulers,
             make_dispatcher(
                 dispatcher, rates=rates, workload=workload, contexts=k
             ),
+        )
+        cluster_metrics = cluster.run(
             balanced_saturated_jobs(
                 workload.types,
                 n_machines * jobs_per_machine,
@@ -199,6 +206,7 @@ def compute_cluster(
                 cluster_throughput=cluster_metrics.throughput,
                 independent_throughput=independent,
                 tolerance=tolerance,
+                memo_stats=cluster.last_memo_stats,
             )
         )
     return comparisons
@@ -260,6 +268,20 @@ def render(comparisons: list[ClusterComparison]) -> str:
         f"{tolerance:.0%} of both {m} independent single-machine runs and "
         "the joint multi-machine LP optimum."
     )
+    memo_lines = []
+    for c in comparisons:
+        stats = c.memo_stats
+        if stats:
+            sizes = stats.get("sizes", {})
+            memo_lines.append(
+                f"  {c.workload_label}: {stats.get('hits', 0)} hits / "
+                f"{stats.get('misses', 0)} misses "
+                f"({float(stats.get('hit_rate', 0.0)):.1%} hit rate), "
+                f"{sizes.get('probe_sets', 0)} probe sets, "
+                f"{sizes.get('interned_types', 0)} interned types"
+            )
+    if memo_lines:
+        verdict += "\n\nrun-memo cache efficacy:\n" + "\n".join(memo_lines)
     return table + verdict
 
 

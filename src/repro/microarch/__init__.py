@@ -36,6 +36,7 @@ from repro.microarch.config import (
     smt_machine,
 )
 from repro.microarch.simulator import SimulationResult, simulate_coschedule
+from repro.microarch.codec import TypeCodec
 from repro.microarch.rates import RateTable
 from repro.microarch.rate_cache import (
     CachedRateSource,
@@ -44,6 +45,7 @@ from repro.microarch.rate_cache import (
 )
 
 __all__ = [
+    "TypeCodec",
     "JobTypeParams",
     "default_roster",
     "roster_by_name",

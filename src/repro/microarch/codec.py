@@ -1,0 +1,86 @@
+"""Interned job-type ids: the integer vocabulary of one run.
+
+Every layer of the event core — stepping, scheduler probing, dispatch —
+keys its hot lookups by *coschedule*, a small multiset of job-type
+names.  Canonicalizing those multisets with ``tuple(sorted(names))``
+and hashing tuples of strings is cheap once, but the cluster loop pays
+it per event and MAXIT/SRPT pay it per *candidate* per event.
+
+:class:`TypeCodec` removes the strings from the hot path: each type
+name is interned to a dense integer id the first time it is seen, so a
+coschedule becomes a small sorted ``tuple[int, ...]`` and per-type
+state (rates, queue counts, affinity rows) becomes a flat list indexed
+by id.  Names reappear only at the metrics/trace boundary, via
+:meth:`canonical_names`, which memoizes the decoded-and-sorted name
+tuple per code tuple so the boundary conversion is one dict hit.
+
+Ids are assigned in *encounter order* and are therefore only
+meaningful relative to one codec instance — a codec is a per-run
+object (the run's :class:`~repro.queueing.ratememo.RunRateMemo` owns
+one), never a cross-run identifier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["TypeCodec"]
+
+
+class TypeCodec:
+    """Dense integer interning of job-type names.
+
+    Args:
+        names: optional seed vocabulary, interned in the given order
+            (later :meth:`encode` calls extend it on demand).
+    """
+
+    __slots__ = ("_code_of", "_name_of", "_canonical")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._code_of: dict[str, int] = {}
+        self._name_of: list[str] = []
+        self._canonical: dict[tuple[int, ...], tuple[str, ...]] = {}
+        for name in names:
+            self.encode(name)
+
+    def __len__(self) -> int:
+        return len(self._name_of)
+
+    @property
+    def size(self) -> int:
+        """Number of interned types (ids are ``0..size-1``)."""
+        return len(self._name_of)
+
+    def encode(self, name: str) -> int:
+        """The id of ``name``, interning it on first sight."""
+        code = self._code_of.get(name)
+        if code is None:
+            code = len(self._name_of)
+            self._code_of[name] = code
+            self._name_of.append(name)
+        return code
+
+    def decode(self, code: int) -> str:
+        """The name behind an id."""
+        return self._name_of[code]
+
+    def names(self) -> tuple[str, ...]:
+        """Every interned name, in id order."""
+        return tuple(self._name_of)
+
+    def canonical_names(self, codes: tuple[int, ...]) -> tuple[str, ...]:
+        """Canonical (sorted) name tuple of a coded coschedule.
+
+        Memoized per code tuple: the metrics/trace boundary converts
+        every event's running set back to names, and returning the one
+        cached tuple keeps downstream dict keys identical (and cheap).
+        Note the sort is over *names* — id order is encounter order,
+        so a sorted id tuple is not automatically name-sorted.
+        """
+        names = self._canonical.get(codes)
+        if names is None:
+            name_of = self._name_of
+            names = tuple(sorted(name_of[code] for code in codes))
+            self._canonical[codes] = names
+        return names

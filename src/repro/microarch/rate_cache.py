@@ -75,6 +75,31 @@ def _split_key(key: str) -> tuple[str, ...]:
     return tuple(key.split(_KEY_SEPARATOR)) if key else ()
 
 
+def _atomic_dump(path: Path, write) -> None:
+    """Write a file crash-safely: dump to a sibling temp file, then
+    ``os.replace`` into place.
+
+    ``write`` receives the temp file object.  If it raises midway (a
+    full disk, an unserializable rate, a KeyboardInterrupt), the temp
+    file is removed and any existing file at ``path`` is left exactly
+    as it was — a failed dump must never truncate a good cache.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fp:
+            write(fp)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 #: Everything a malformed-but-valid-JSON cache payload can raise while
 #: being normalized; loaders catch these and start cold instead.
 _LOAD_ERRORS = (OSError, ValueError, TypeError, AttributeError, KeyError)
@@ -311,11 +336,12 @@ class CachedRateSource:
         json.dump(payload, fp, indent=2, sort_keys=True)
 
     def save(self, path: str | Path) -> None:
-        """Write the memo to ``path`` (parent directories created)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w") as fp:
-            self.to_json(fp)
+        """Crash-safely write the memo to ``path`` (parents created).
+
+        The dump goes to a temp file first and is renamed into place,
+        so a failure mid-dump never truncates an existing cache.
+        """
+        _atomic_dump(Path(path), self.to_json)
 
     @classmethod
     def from_json(cls, fp: IO[str], source: RateSource) -> "CachedRateSource":
@@ -484,18 +510,8 @@ class RateCacheStore:
                 for section, entries in sorted(self._sections.items())
             },
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        _atomic_dump(
+            self.path,
+            lambda fp: json.dump(payload, fp, indent=2, sort_keys=True),
         )
-        try:
-            with os.fdopen(fd, "w") as fp:
-                json.dump(payload, fp, indent=2, sort_keys=True)
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
         return self.total_entries()

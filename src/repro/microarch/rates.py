@@ -43,7 +43,20 @@ __all__ = [
 
 
 def canonical_coschedule(names: Iterable[str]) -> tuple[str, ...]:
-    """Canonical (sorted-tuple) form of a job-name multiset."""
+    """Canonical (sorted-tuple) form of a job-name multiset.
+
+    Fast path: a tuple that is already sorted is returned *as-is*
+    (same object, no sort, no copy).  Memo layers canonicalize on
+    every lookup and their hits overwhelmingly arrive as canonical
+    tuples they handed out earlier, so the common case is a linear
+    scan instead of a sort plus a fresh tuple — and reusing the object
+    keeps downstream dict keys interned.
+    """
+    if type(names) is tuple:
+        for i in range(len(names) - 1):
+            if names[i] > names[i + 1]:
+                return tuple(sorted(names))
+        return names
     return tuple(sorted(names))
 
 

@@ -29,11 +29,12 @@ policy); :mod:`repro.queueing.engine` is the single-machine front door
 
 from repro.queueing.job import Job
 from repro.queueing.system import SystemMetrics
+from repro.queueing.ratememo import CandidateSet, ProbeCandidate, RunRateMemo
 from repro.queueing.cluster import (
     Cluster,
     ClusterMetrics,
+    JobQueue,
     Machine,
-    RunRateMemo,
     run_cluster,
 )
 from repro.queueing.dispatch import (
@@ -99,8 +100,11 @@ __all__ = [
     "SystemMetrics",
     "Cluster",
     "ClusterMetrics",
+    "JobQueue",
     "Machine",
     "RunRateMemo",
+    "ProbeCandidate",
+    "CandidateSet",
     "run_cluster",
     "Dispatcher",
     "RoundRobinDispatcher",

@@ -15,16 +15,23 @@ to an M-machine cluster while *removing* the per-event full rescan:
   rates, and metrics intervals are brought up to date only when one of
   their own events (or the final flush) arrives, so an event costs
   O(log M + rescheduling one machine) instead of O(M) scheduler calls.
-* :class:`RunRateMemo` — the per-run rate memo, hoisted out of the old
-  engine loop and *shared*: identical machines share one coschedule
-  space, so the memo serves every machine's stepping **and** every
-  scheduler's candidate probing (MAXIT/SRPT evaluate many multisets per
-  decision; previously those lookups bypassed the engine memo).  It
-  wraps any :class:`~repro.microarch.rates.RateSource`, including a
-  persisted :class:`~repro.microarch.rate_cache.CachedRateSource`.
-  Probing shares the memo only when a scheduler was built on *the same
-  rate source object* the run uses — a scheduler probing a different
-  source (a counterfactual table, say) keeps doing exactly that.
+* :class:`~repro.queueing.ratememo.RunRateMemo` (re-exported here) —
+  the per-run rate memo, hoisted out of the old engine loop and
+  *shared*: identical machines share one coschedule space, so the memo
+  serves every machine's stepping **and** every scheduler's candidate
+  probing (MAXIT/SRPT evaluate many multisets per decision; previously
+  those lookups bypassed the engine memo).  It wraps any
+  :class:`~repro.microarch.rates.RateSource`, including a persisted
+  :class:`~repro.microarch.rate_cache.CachedRateSource`.  Probing
+  shares the memo only when a scheduler was built on *the same rate
+  source object* the run uses — a scheduler probing a different source
+  (a counterfactual table, say) keeps doing exactly that.  By default
+  the memo runs *compiled*: a per-run
+  :class:`~repro.microarch.codec.TypeCodec` interns type names to
+  dense int ids, coschedules become small sorted int tuples, and
+  stepping/probing index flat per-type rate arrays — bit-identical to
+  the string path (``fast_path=False``), just without its per-event
+  sorting and dict churn.
 
 Single-machine runs are the M=1 special case:
 :func:`repro.queueing.engine.run_system` is now a thin wrapper over
@@ -42,19 +49,21 @@ join-shortest-queue, or the LP-guided symbiosis-affinity policy).
 from __future__ import annotations
 
 import heapq
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import SimulationError
+from repro.microarch.codec import TypeCodec
 from repro.microarch.rates import RateSource
 from repro.queueing.dispatch import Dispatcher
 from repro.queueing.job import Job
+from repro.queueing.ratememo import RunRateMemo
 from repro.queueing.schedulers import Scheduler
 from repro.queueing.system import SystemMetrics
 
 __all__ = [
     "RunRateMemo",
+    "JobQueue",
     "Machine",
     "ClusterMetrics",
     "Cluster",
@@ -65,65 +74,78 @@ _EPSILON = 1e-9
 _INF = float("inf")
 
 
-def _per_job_type_rates(
-    rates: RateSource, coschedule: tuple[str, ...]
-) -> dict[str, float]:
-    """Execution rate (work per unit time) of one job of each type.
+def _encoded_stream(stream: Iterator[Job], codec: TypeCodec) -> Iterator[Job]:
+    """Intern each arriving job's type id as it enters the run.
 
-    Same-type jobs are symmetric, so the rate depends only on the
-    coschedule multiset — which is what makes per-run memoization by
-    coschedule exact.
+    The loop reads every job exactly once, so this is the single point
+    where ``job.type_code`` becomes authoritative for the current
+    run's codec — jobs recycled from an earlier run (whose codec
+    assigned different ids) are re-coded here before anything can
+    index with a stale id.
     """
-    if not coschedule:
-        return {}
-    type_rates = rates.type_rates(coschedule)
-    counts = Counter(coschedule)
-    return {
-        job_type: type_rates.get(job_type, 0.0) / count
-        for job_type, count in counts.items()
-    }
+    for job in stream:
+        job.type_code = codec.encode(job.job_type)
+        yield job
 
 
-class RunRateMemo:
-    """Per-run rate memo shared by stepping, probing, and dispatch.
+def _uncoded_stream(stream: Iterator[Job]) -> Iterator[Job]:
+    """Legacy-mode twin of :func:`_encoded_stream`: clear stale ids so
+    every downstream consumer takes its string path."""
+    for job in stream:
+        job.type_code = None
+        yield job
 
-    Memoizes ``type_rates`` by canonical multiset and derives the
-    per-job rates the event loop steps with.  One memo serves all
-    machines of a run (identical machines share one coschedule space),
-    and the engine rebinds each scheduler's rate source to it for the
-    run's duration, so MAXIT/SRPT candidate evaluation and engine
-    stepping hit the same entries instead of maintaining separate
-    caches.  Unknown attributes delegate to the wrapped source, so a
-    wrapped :class:`~repro.microarch.rates.RateTable` keeps its full
-    API (``machine``, ``alone_ipc``, ...).
+
+class JobQueue(list):
+    """A machine's job list with an incremental per-type-code index.
+
+    Scheduler probing needs the queue grouped by type at every event;
+    rebuilding that grouping is O(queue) per event and dominates long
+    non-saturated queues.  With the index enabled (compiled runs), the
+    grouping is maintained as a delta per admission/completion instead:
+    ``by_code[type_id]`` lists the queued jobs of that type in
+    admission order (pools may be left empty when a type drains —
+    consumers skip those).  Legacy runs, and plain lists handed to a
+    scheduler directly, leave ``by_code`` as ``None`` and schedulers
+    rebuild the grouping as before.
     """
 
-    def __init__(self, source: RateSource) -> None:
-        self.source = source
-        self._type_rates: dict[tuple[str, ...], dict[str, float]] = {}
-        self._per_job: dict[tuple[str, ...], dict[str, float]] = {}
+    __slots__ = ("by_code", "index_codec")
 
-    def type_rates(self, coschedule: Sequence[str]) -> dict[str, float]:
-        """Total WIPC per job type in ``coschedule`` (memoized)."""
-        key = tuple(sorted(coschedule))
-        entry = self._type_rates.get(key)
-        if entry is None:
-            entry = dict(self.source.type_rates(key))
-            self._type_rates[key] = entry
-        return entry
+    def __init__(self) -> None:
+        super().__init__()
+        self.by_code: dict[int, list[Job]] | None = None
+        #: The codec whose ids key ``by_code`` — consumers probing
+        #: with a different codec must rebuild their own grouping.
+        self.index_codec: TypeCodec | None = None
 
-    def per_job_rates(self, coschedule: tuple[str, ...]) -> dict[str, float]:
-        """Per-job rate of each type in a canonical coschedule."""
-        entry = self._per_job.get(coschedule)
-        if entry is None:
-            entry = _per_job_type_rates(self, coschedule)
-            self._per_job[coschedule] = entry
-        return entry
+    def enable_index(self, codec: TypeCodec) -> None:
+        """Start maintaining the per-type-code index (empty queue)."""
+        self.by_code = {}
+        self.index_codec = codec
 
-    def __getattr__(self, name: str):
-        if name.startswith("_"):
-            raise AttributeError(name)
-        return getattr(self.source, name)
+    def admit(self, job: Job) -> None:
+        """Append an arriving job, keeping the index in sync."""
+        self.append(job)
+        index = self.by_code
+        if index is not None:
+            pool = index.get(job.type_code)
+            if pool is None:
+                index[job.type_code] = [job]
+            else:
+                pool.append(job)
+
+    def remove_ids(self, done_ids: set[int], codes: set[int | None]) -> None:
+        """Drop completed jobs, rebuilding only the affected pools."""
+        self[:] = [job for job in self if job.job_id not in done_ids]
+        index = self.by_code
+        if index is not None:
+            for code in codes:
+                pool = index.get(code)
+                if pool is not None:
+                    index[code] = [
+                        job for job in pool if job.job_id not in done_ids
+                    ]
 
 
 @dataclass
@@ -140,10 +162,13 @@ class Machine:
 
     machine_id: int
     scheduler: Scheduler
-    jobs: list[Job] = field(default_factory=list)
+    jobs: list[Job] = field(default_factory=JobQueue)
     running: list[Job] = field(default_factory=list)
     coschedule: tuple[str, ...] = ()
     job_rates: dict[str, float] = field(default_factory=dict)
+    #: Compiled-mode rate array (per-job rate indexed by type id);
+    #: ``None`` on the legacy string path.
+    rates_by_code: list[float] | None = None
     next_completion: float = _INF
     last_sync: float = 0.0
     metrics: SystemMetrics = field(default_factory=SystemMetrics)
@@ -168,20 +193,49 @@ class Machine:
         if len(ids) != len(running):
             raise SimulationError(f"{scheduler.name} selected a job twice")
 
-        coschedule = tuple(sorted(job.job_type for job in running))
-        job_rates = memo.per_job_rates(coschedule)
-        next_completion = _INF
-        for job in running:
-            rate = job_rates[job.job_type]
-            if rate <= 0.0:
-                raise SimulationError(
-                    f"job {job.job_id} ({job.job_type}) has zero rate in "
-                    "its coschedule"
-                )
-            next_completion = min(next_completion, job.remaining / rate)
+        rates_by_code: list[float] | None = None
+        if memo.compiled:
+            # Coded path: small sorted int tuple in, flat rate array
+            # out.  The array holds the exact floats of the legacy
+            # per-job dict, so stepping stays bit-identical.
+            codec = memo.codec
+            codes = []
+            for job in running:
+                code = job.type_code
+                if code is None:
+                    code = codec.encode(job.job_type)
+                    job.type_code = code
+                codes.append(code)
+            codes.sort()
+            entry = memo.compiled_entry(tuple(codes))
+            coschedule = entry.names
+            job_rates = entry.per_job
+            rates_by_code = entry.rates_by_code
+            next_completion = _INF
+            for job in running:
+                rate = rates_by_code[job.type_code]
+                if rate <= 0.0:
+                    raise SimulationError(
+                        f"job {job.job_id} ({job.job_type}) has zero rate "
+                        "in its coschedule"
+                    )
+                next_completion = min(next_completion, job.remaining / rate)
+        else:
+            coschedule = tuple(sorted(job.job_type for job in running))
+            job_rates = memo.per_job_rates(coschedule)
+            next_completion = _INF
+            for job in running:
+                rate = job_rates[job.job_type]
+                if rate <= 0.0:
+                    raise SimulationError(
+                        f"job {job.job_id} ({job.job_type}) has zero rate in "
+                        "its coschedule"
+                    )
+                next_completion = min(next_completion, job.remaining / rate)
         self.running = running
         self.coschedule = coschedule
         self.job_rates = job_rates
+        self.rates_by_code = rates_by_code
         self.next_completion = next_completion
         self.dirty = False
         self.epoch += 1
@@ -204,10 +258,17 @@ class Machine:
         if span is None:
             span = new_clock - self.last_sync
         work = 0.0
-        for job in self.running:
-            step = self.job_rates[job.job_type] * span
-            job.progress(step)
-            work += step
+        rates_by_code = self.rates_by_code
+        if rates_by_code is not None:
+            for job in self.running:
+                step = rates_by_code[job.type_code] * span
+                job.progress(step)
+                work += step
+        else:
+            for job in self.running:
+                step = self.job_rates[job.job_type] * span
+                job.progress(step)
+                work += step
 
         measured = new_clock - max(self.last_sync, warmup)
         if measured > 0.0:
@@ -218,6 +279,14 @@ class Machine:
         self.scheduler.observe(self.coschedule, span)
         self.last_sync = new_clock
 
+    def admit(self, job: Job) -> None:
+        """Add an arriving job to the queue (index kept in sync)."""
+        jobs = self.jobs
+        if type(jobs) is JobQueue:
+            jobs.admit(job)
+        else:
+            jobs.append(job)
+
     def complete_finished(self, clock: float, warmup: float) -> int:
         """Retire running jobs whose work is done; returns the count."""
         finished = [job for job in self.running if job.done]
@@ -227,9 +296,15 @@ class Machine:
                 self.metrics.observe_completion(job.turnaround)
         if finished:
             done_ids = {job.job_id for job in finished}
-            self.jobs = [
-                job for job in self.jobs if job.job_id not in done_ids
-            ]
+            jobs = self.jobs
+            if type(jobs) is JobQueue:
+                jobs.remove_ids(
+                    done_ids, {job.type_code for job in finished}
+                )
+            else:
+                self.jobs = [
+                    job for job in jobs if job.job_id not in done_ids
+                ]
         return len(finished)
 
 
@@ -313,6 +388,9 @@ class Cluster:
         self.rates = rates
         self.schedulers = list(schedulers)
         self.dispatcher = dispatcher
+        #: Hit/miss/size counters of the last run's memo (see
+        #: :meth:`RunRateMemo.stats_dict`); ``None`` before any run.
+        self.last_memo_stats: dict[str, object] | None = None
 
     @property
     def n_machines(self) -> int:
@@ -328,6 +406,7 @@ class Cluster:
         stop_when_fewer_than: int | None = None,
         keep_in_system: int | None = None,
         max_events: int = 5_000_000,
+        fast_path: bool = True,
     ) -> ClusterMetrics:
         """Run the cluster to completion and return per-machine metrics.
 
@@ -344,12 +423,26 @@ class Cluster:
                 until its dispatch target has room; if every machine is
                 full, the stream stalls until a completion.
             max_events: safety bound on processed events.
+            fast_path: run on the interned-type compiled memo (the
+                default).  ``False`` takes the legacy string path —
+                bit-identical by construction, pinned so by a property
+                test; it exists for that test and for before/after
+                profiling (``tools/profile_hotpaths.py``).
         """
-        memo = RunRateMemo(self.rates)
+        memo = RunRateMemo(self.rates, compiled=fast_path)
         machines = [
             Machine(machine_id=i, scheduler=s)
             for i, s in enumerate(self.schedulers)
         ]
+        if fast_path:
+            for machine in machines:
+                machine.jobs.enable_index(memo.codec)
+        stream = iter(arrivals)
+        stream = (
+            _encoded_stream(stream, memo.codec)
+            if fast_path
+            else _uncoded_stream(stream)
+        )
         # Hoist the per-run memo into every scheduler that probes the
         # run's own rate source, so candidate evaluation and stepping
         # share one memo (restored on exit — schedulers outlive runs).
@@ -359,11 +452,17 @@ class Cluster:
         rebound = [s for s in self.schedulers if s.rates is self.rates]
         for scheduler in rebound:
             scheduler.bind_rates(memo)
+        # Dispatchers with per-type state (the affinity policy) flatten
+        # it onto the run's type ids; unbound on exit so a later run —
+        # whose codec may assign different ids — starts clean.
+        bind_codec = getattr(self.dispatcher, "bind_codec", None)
+        if bind_codec is not None and fast_path:
+            bind_codec(memo.codec)
         try:
             self._event_loop(
                 memo,
                 machines,
-                iter(arrivals),
+                stream,
                 warmup_time=warmup_time,
                 horizon=horizon,
                 stop_when_fewer_than=stop_when_fewer_than,
@@ -373,6 +472,12 @@ class Cluster:
         finally:
             for scheduler in rebound:
                 scheduler.bind_rates(self.rates)
+            if bind_codec is not None:
+                bind_codec(None)
+            # Recorded even when the run raises: a diagnostic path
+            # catching the error should see this run's counters, not
+            # the previous run's.
+            self.last_memo_stats = memo.stats_dict()
         return ClusterMetrics(
             per_machine=tuple(m.metrics for m in machines)
         )
@@ -467,7 +572,7 @@ class Cluster:
                 last_arrival = pending.arrival_time
                 machine = machines[target]
                 machine.sync(clock, warmup=warmup_time)
-                machine.jobs.append(pending)
+                machine.admit(pending)
                 in_system += 1
                 if not has_room(machine):
                     full_machines += 1
@@ -594,6 +699,7 @@ def run_cluster(
     stop_when_fewer_than: int | None = None,
     keep_in_system: int | None = None,
     max_events: int = 5_000_000,
+    fast_path: bool = True,
 ) -> ClusterMetrics:
     """Build a :class:`Cluster` and run it once (convenience wrapper)."""
     cluster = Cluster(rates, schedulers, dispatcher)
@@ -604,4 +710,5 @@ def run_cluster(
         stop_when_fewer_than=stop_when_fewer_than,
         keep_in_system=keep_in_system,
         max_events=max_events,
+        fast_path=fast_path,
     )

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.core.optimal import optimal_throughput
 from repro.core.workload import Workload
 from repro.errors import WorkloadError
+from repro.microarch.codec import TypeCodec
 from repro.microarch.rates import RateSource
 from repro.queueing.job import Job
 
@@ -75,6 +76,11 @@ class Dispatcher(ABC):
                 empty.  The returned index must come from this list.
             clock: current simulation time.
         """
+
+    def bind_codec(self, codec: TypeCodec | None) -> None:
+        """Hook: the cluster hands the run's type codec to dispatchers
+        with per-type state (and ``None`` when the run ends, or when
+        it takes the legacy path).  Stateless policies ignore it."""
 
 
 class RoundRobinDispatcher(Dispatcher):
@@ -179,6 +185,32 @@ class SymbiosisAffinityDispatcher(Dispatcher):
                         )
         self.affinity = affinity
         self.slack = slack
+        # Compiled per-run view: the affinity table flattened onto the
+        # run codec's type ids (row-major n x n list-of-lists), so the
+        # per-queue scoring loop is two list indexes per queued job
+        # instead of a string-tuple dict probe.  Bound by the cluster
+        # at run start, cleared at run end.
+        self._matrix: list[list[float]] | None = None
+
+    def bind_codec(self, codec: TypeCodec | None) -> None:
+        """Flatten the affinity table onto the run's type ids.
+
+        Every type named by the offline LP solution is interned up
+        front; types the run introduces later get ids beyond the
+        matrix and score 0.0 — exactly the ``dict.get`` default of the
+        string path.
+        """
+        if codec is None:
+            self._matrix = None
+            return
+        for a, b in self.affinity:
+            codec.encode(a)
+            codec.encode(b)
+        n = codec.size
+        matrix = [[0.0] * n for _ in range(n)]
+        for (a, b), weight in self.affinity.items():
+            matrix[codec.encode(a)][codec.encode(b)] = weight
+        self._matrix = matrix
 
     def _mean_affinity(self, job_type: str, queue: Sequence[Job]) -> float:
         if not queue:
@@ -187,6 +219,30 @@ class SymbiosisAffinityDispatcher(Dispatcher):
             self.affinity.get((job_type, queued.job_type), 0.0)
             for queued in queue
         )
+        return total / len(queue)
+
+    def _mean_affinity_coded(
+        self, job_code: int, queue: Sequence[Job]
+    ) -> float:
+        """Coded twin of :meth:`_mean_affinity`.
+
+        Sums the identical floats in the identical queue order (the
+        matrix holds the dict's values, out-of-table lookups
+        contribute the same 0.0), so routing scores — and therefore
+        every tie-break — match the string path bit for bit.
+        """
+        if not queue:
+            return 0.0
+        matrix = self._matrix
+        if job_code >= len(matrix):
+            return 0.0
+        row = matrix[job_code]
+        n = len(row)
+        total = 0.0
+        for queued in queue:
+            code = queued.type_code
+            if code is not None and code < n:
+                total += row[code]
         return total / len(queue)
 
     def route(
@@ -202,6 +258,16 @@ class SymbiosisAffinityDispatcher(Dispatcher):
             for i in eligible
             if len(machines[i].jobs) <= shortest + self.slack
         ]
+        if self._matrix is not None and job.type_code is not None:
+            job_code = job.type_code
+            return min(
+                shortlist,
+                key=lambda i: (
+                    -self._mean_affinity_coded(job_code, machines[i].jobs),
+                    len(machines[i].jobs),
+                    i,
+                ),
+            )
         return min(
             shortlist,
             key=lambda i: (

@@ -24,6 +24,12 @@ class Job:
         arrival_time: when the job entered the system.
         remaining: work still to execute.
         completion_time: set when the job finishes.
+        type_code: interned id of ``job_type`` under the *current
+            run's* :class:`~repro.microarch.codec.TypeCodec` — set by
+            the cluster event loop when the job enters a run (and
+            cleared on the legacy path), never meaningful across runs.
+            Excluded from equality/repr: it is derived hot-path state,
+            not identity.
     """
 
     job_id: int
@@ -32,6 +38,7 @@ class Job:
     arrival_time: float
     remaining: float = field(default=-1.0)
     completion_time: float | None = None
+    type_code: int | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0.0:

@@ -1,0 +1,311 @@
+"""Per-run rate memo with an interned-type compiled fast path.
+
+:class:`RunRateMemo` (hoisted out of the cluster event loop in PR 2,
+moved here and *compiled* in this PR) is the one per-run cache that
+serves every machine's stepping, every scheduler's candidate probing,
+and the dispatch layer.  It now has two modes:
+
+* **legacy mode** (``compiled=False``) — the PR-2 behavior, string
+  multisets in, string-keyed rate dicts out.  Kept verbatim so the
+  fast path can be property-tested bit-identical against it.
+* **compiled mode** (the default) — a :class:`~repro.microarch.codec.
+  TypeCodec` interns job-type names to dense int ids once per run;
+  coschedules become small sorted int tuples, and every lookup the
+  event loop or a scheduler performs resolves to one dict hit on an
+  int-tuple key returning *flat per-type arrays* (``rates_by_code``
+  lists indexed by type id) — zero per-event string sorting, zero
+  per-event ``Counter``/dict churn.
+
+Bit-identity is load-bearing: the compiled structures are *derived
+from* the legacy string path (same ``type_rates`` dicts, same division
+by multiplicity, same candidate enumeration order via
+:func:`repro.util.multiset.sub_multisets`), so every float the fast
+path hands out is the exact float the legacy path computes, and the 27
+golden traces in ``tests/golden/`` pass unchanged.
+
+The probe layer (:meth:`probe_candidates`) memoizes, per (present-jobs
+count vector, coschedule size), the full candidate multiset list with
+precomputed instantaneous throughput and per-job rates.  Saturated
+MAXIT/SRPT machines revisit a handful of count vectors for thousands
+of events, so candidate enumeration amortizes to a dict hit — the
+"delta-update" replacement for rebuilding every multiset per decision.
+
+Cache efficacy is observable: ``stats`` mirrors
+:class:`repro.microarch.rate_cache.CacheStats` (hits/misses over every
+memoized layer), and :meth:`stats_dict` adds per-layer entry counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.microarch.codec import TypeCodec
+from repro.microarch.rate_cache import CacheStats
+from repro.microarch.rates import RateSource
+from repro.util.multiset import sub_multisets
+
+__all__ = ["RunRateMemo", "ProbeCandidate", "CandidateSet"]
+
+
+def _per_job_type_rates(
+    rates: RateSource, coschedule: tuple[str, ...]
+) -> dict[str, float]:
+    """Execution rate (work per unit time) of one job of each type.
+
+    Same-type jobs are symmetric, so the rate depends only on the
+    coschedule multiset — which is what makes per-run memoization by
+    coschedule exact.
+    """
+    if not coschedule:
+        return {}
+    type_rates = rates.type_rates(coschedule)
+    counts = Counter(coschedule)
+    return {
+        job_type: type_rates.get(job_type, 0.0) / count
+        for job_type, count in counts.items()
+    }
+
+
+class _CompiledEntry:
+    """One coded coschedule, pre-flattened for the event loop.
+
+    ``rates_by_code[type_id]`` is the per-job rate of that type in
+    this coschedule (0.0 for types not present), so stepping is a list
+    index per running job instead of a string-keyed dict hit.
+    """
+
+    __slots__ = ("names", "per_job", "rates_by_code")
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        per_job: dict[str, float],
+        rates_by_code: list[float],
+    ) -> None:
+        self.names = names
+        self.per_job = per_job
+        self.rates_by_code = rates_by_code
+
+
+class ProbeCandidate:
+    """One candidate coschedule of a scheduler probe, precomputed.
+
+    Attributes:
+        names: canonical name tuple (the legacy probe key).
+        count_items: ``((type_id, count), ...)`` in the legacy
+            ``Counter(names).items()`` order — the order schedulers
+            instantiate jobs in, which fixes float-summation order.
+        it: instantaneous throughput ``it(s)`` (MAXIT's objective).
+        per_job_rates: per-job rate aligned with ``count_items``
+            (SRPT's divisor); 0.0 marks an infeasible type.
+        srpt_items: ``count_items`` zipped with ``per_job_rates``
+            (``(type_id, count, rate)`` triples) — SRPT's inner loop,
+            pre-zipped so the hot path allocates nothing.
+    """
+
+    __slots__ = ("names", "count_items", "it", "per_job_rates", "srpt_items")
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        count_items: tuple[tuple[int, int], ...],
+        it: float,
+        per_job_rates: tuple[float, ...],
+    ) -> None:
+        self.names = names
+        self.count_items = count_items
+        self.it = it
+        self.per_job_rates = per_job_rates
+        self.srpt_items = tuple(
+            (code, count, rate)
+            for (code, count), rate in zip(count_items, per_job_rates)
+        )
+
+
+class CandidateSet:
+    """Every candidate multiset for one (count vector, size) probe.
+
+    Attributes:
+        candidates: all candidates, in the exact legacy enumeration
+            order (``sorted(set(sub_multisets(present, size)))``).
+        max_it_group: the candidates whose ``it`` equals the maximum —
+            MAXIT's lexicographic ``(-it, age)`` key means only these
+            ever need an age computed.
+        feasible: candidates with strictly positive per-job rates for
+            every type (SRPT skips the rest, every time, because rates
+            depend only on the multiset).
+    """
+
+    __slots__ = ("candidates", "max_it_group", "feasible")
+
+    def __init__(self, candidates: list[ProbeCandidate]) -> None:
+        self.candidates = candidates
+        best_it = max(c.it for c in candidates) if candidates else 0.0
+        self.max_it_group = [c for c in candidates if c.it == best_it]
+        self.feasible = [
+            c
+            for c in candidates
+            if all(rate > 0.0 for rate in c.per_job_rates)
+        ]
+
+
+class RunRateMemo:
+    """Per-run rate memo shared by stepping, probing, and dispatch.
+
+    Memoizes ``type_rates`` by canonical multiset and derives the
+    per-job rates the event loop steps with.  One memo serves all
+    machines of a run (identical machines share one coschedule space),
+    and the engine rebinds each scheduler's rate source to it for the
+    run's duration, so MAXIT/SRPT candidate evaluation and engine
+    stepping hit the same entries instead of maintaining separate
+    caches.  Unknown attributes delegate to the wrapped source, so a
+    wrapped :class:`~repro.microarch.rates.RateTable` keeps its full
+    API (``machine``, ``alone_ipc``, ...).
+
+    Args:
+        source: the wrapped rate source.
+        compiled: enable the interned-type fast path (int-coded
+            coschedules + flat rate arrays).  ``False`` reproduces the
+            PR-2 string path exactly — used by the equivalence
+            property tests and the before/after profiler.
+    """
+
+    def __init__(self, source: RateSource, *, compiled: bool = True) -> None:
+        self.source = source
+        self.compiled = compiled
+        self.codec = TypeCodec()
+        self.stats = CacheStats(label="run-memo")
+        self._type_rates: dict[tuple[str, ...], dict[str, float]] = {}
+        self._per_job: dict[tuple[str, ...], dict[str, float]] = {}
+        self._compiled: dict[tuple[int, ...], _CompiledEntry] = {}
+        self._probes: dict[
+            tuple[tuple[tuple[int, int], ...], int], CandidateSet
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Legacy string path (PR-2 behavior, byte for byte)
+    # ------------------------------------------------------------------
+    def type_rates(self, coschedule: Sequence[str]) -> dict[str, float]:
+        """Total WIPC per job type in ``coschedule`` (memoized)."""
+        key = tuple(sorted(coschedule))
+        entry = self._type_rates.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            entry = dict(self.source.type_rates(key))
+            self._type_rates[key] = entry
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def per_job_rates(self, coschedule: tuple[str, ...]) -> dict[str, float]:
+        """Per-job rate of each type in a canonical coschedule."""
+        entry = self._per_job.get(coschedule)
+        if entry is None:
+            entry = _per_job_type_rates(self, coschedule)
+            self._per_job[coschedule] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Compiled int path
+    # ------------------------------------------------------------------
+    def compiled_entry(self, codes: tuple[int, ...]) -> _CompiledEntry:
+        """The pre-flattened entry of a coded (sorted-int) coschedule.
+
+        Derived from the legacy path on first sight — the per-job
+        dict's floats are flattened into ``rates_by_code`` unchanged,
+        so stepping arithmetic is bit-identical in both modes.
+        """
+        entry = self._compiled.get(codes)
+        if entry is None:
+            self.stats.misses += 1
+            names = self.codec.canonical_names(codes)
+            per_job = self.per_job_rates(names)
+            rates_by_code = [0.0] * self.codec.size
+            for name, rate in per_job.items():
+                rates_by_code[self.codec.encode(name)] = rate
+            entry = _CompiledEntry(names, per_job, rates_by_code)
+            self._compiled[codes] = entry
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def probe_candidates(
+        self, counts_key: tuple[tuple[int, int], ...], size: int
+    ) -> CandidateSet:
+        """Candidate coschedules of ``size`` for one present-jobs
+        count vector (``((type_id, count), ...)``, sorted by id).
+
+        Built once per distinct (count vector, size) via the *legacy*
+        enumeration — ``sorted(set(sub_multisets(present, size)))`` on
+        name tuples — so candidate order, and therefore every
+        tie-break a scheduler performs, matches the string path
+        exactly.  Saturated schedulers revisit the same count vectors
+        for thousands of events, so probes amortize to one dict hit.
+        """
+        # A candidate takes at most ``size`` jobs of any one type, so
+        # count vectors that only differ beyond that cap enumerate the
+        # identical candidate set — cap the key (and the reconstructed
+        # multiset) so deep fluctuating backlogs share one entry
+        # instead of re-enumerating per queue length.
+        if any(count > size for _, count in counts_key):
+            counts_key = tuple(
+                (code, count if count < size else size)
+                for code, count in counts_key
+            )
+        key = (counts_key, size)
+        cached = self._probes.get(key)
+        if cached is None:
+            self.stats.misses += 1
+            decode = self.codec.decode
+            present = tuple(
+                sorted(
+                    name
+                    for code, count in counts_key
+                    for name in (decode(code),) * count
+                )
+            )
+            candidates = []
+            for names in sorted(set(sub_multisets(present, size))):
+                entry = self.type_rates(names)
+                counts = Counter(names)
+                count_items = tuple(
+                    (self.codec.encode(name), count)
+                    for name, count in counts.items()
+                )
+                per_job_rates = tuple(
+                    entry.get(name, 0.0) / count
+                    for name, count in counts.items()
+                )
+                candidates.append(
+                    ProbeCandidate(
+                        names, count_items, sum(entry.values()), per_job_rates
+                    )
+                )
+            cached = CandidateSet(candidates)
+            self._probes[key] = cached
+        else:
+            self.stats.hits += 1
+        return cached
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def sizes(self) -> dict[str, int]:
+        """Entry counts of every memoized layer."""
+        return {
+            "type_rates": len(self._type_rates),
+            "per_job": len(self._per_job),
+            "compiled": len(self._compiled),
+            "probe_sets": len(self._probes),
+            "interned_types": self.codec.size,
+        }
+
+    def stats_dict(self) -> dict[str, object]:
+        """JSON-friendly stats: hit/miss counters plus layer sizes."""
+        return {**self.stats.as_dict(), "sizes": self.sizes()}
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.source, name)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.microarch.rates import canonical_coschedule
 
 __all__ = ["SystemMetrics"]
 
@@ -63,7 +64,10 @@ class SystemMetrics:
             self.empty_time += dt
         self.work_done += work
         if running_types:
-            key = tuple(sorted(running_types))
+            # The engine hands in canonical tuples, which
+            # canonical_coschedule returns as-is (no re-sort, and the
+            # dict key stays the same interned object).
+            key = canonical_coschedule(running_types)
             self.time_by_coschedule[key] = (
                 self.time_by_coschedule.get(key, 0.0) + dt
             )

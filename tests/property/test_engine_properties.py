@@ -95,7 +95,11 @@ class TestEngineProperties:
         run_system(RATES, scheduler, jobs)
         for job in jobs:
             job_type, size = sizes[job.job_id]
-            assert job.turnaround >= size / best_rate[job_type] - 1e-9
+            # The engine admits arrivals up to its event epsilon (1e-9)
+            # early, so a job can legitimately start — and therefore
+            # finish — that much sooner than its arrival stamp implies;
+            # allow one admission epsilon plus ulp headroom.
+            assert job.turnaround >= size / best_rate[job_type] - 3e-9
 
     @given(job_streams, scheduler_names)
     @settings(max_examples=30, deadline=None)

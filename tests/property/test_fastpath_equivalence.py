@@ -1,0 +1,205 @@
+"""The interned-type fast path is bit-identical to the string path.
+
+Two layers of pinning:
+
+* **Engine layer** — ``run_cluster(..., fast_path=True)`` (int-coded
+  coschedules, flat rate arrays, memoized probe candidate sets, the
+  per-type queue index) must produce *bit-identical*
+  ``ClusterMetrics`` to ``fast_path=False`` (the legacy PR-2 string
+  path, kept in-tree) across random job streams, schedulers,
+  dispatchers, cluster sizes, and run knobs — including the exact
+  per-coschedule time splits, whose dict keys come out of the codec's
+  decode boundary.
+
+* **Scheduler layer** (the probing decisions themselves) — MAXIT,
+  SRPT, and MAXTP must pick the *identical jobs in the identical
+  order* whether they probe through a compiled
+  :class:`~repro.queueing.ratememo.RunRateMemo` or the raw string
+  table, across random rate tables and random queue states.  Order
+  matters: the engine accumulates stepped work in running-set order,
+  so a permuted pick would still drift the metrics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.workload import Workload
+from repro.experiments.registry import to_jsonable
+from repro.microarch.rates import TableRates
+from repro.queueing.cluster import run_cluster
+from repro.queueing.job import Job
+from repro.queueing.ratememo import RunRateMemo
+from repro.queueing.schedulers import make_scheduler
+from repro.queueing.dispatch import make_dispatcher
+from repro.util.multiset import multisets
+
+TYPES = ("A", "B", "C")
+WORKLOAD = Workload.of(*TYPES)
+CONTEXTS = 2
+
+
+def build_table(per_job: dict[str, float], interference: float) -> TableRates:
+    """A full 3-type/2-context table from per-job rates and a same-type
+    interference factor (heterogeneous pairs stay at full speed)."""
+    table = {}
+    for size in (1, 2):
+        for cos in multisets(TYPES, size):
+            factor = (
+                interference if size == 2 and len(set(cos)) == 1 else 1.0
+            )
+            table[cos] = {
+                b: per_job[b] * cos.count(b) * factor for b in set(cos)
+            }
+    return TableRates(table)
+
+
+rate_tables = st.builds(
+    build_table,
+    st.fixed_dictionaries(
+        {
+            t: st.floats(min_value=0.1, max_value=2.0, allow_nan=False)
+            for t in TYPES
+        }
+    ),
+    st.floats(min_value=0.3, max_value=1.0),
+)
+
+job_streams = st.lists(
+    st.tuples(
+        st.sampled_from(TYPES),
+        st.floats(min_value=0.0, max_value=3.0),  # inter-arrival gap
+        st.floats(min_value=0.05, max_value=3.0),  # size
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+scheduler_names = st.sampled_from(("fcfs", "maxit", "srpt", "maxtp", "ljf"))
+dispatcher_names = st.sampled_from(("round_robin", "jsq", "affinity"))
+n_machines = st.integers(min_value=1, max_value=3)
+
+run_knobs = st.sampled_from(
+    (
+        {},
+        {"warmup_time": 2.0},
+        {"horizon": 8.0},
+        {"keep_in_system": 2, "stop_when_fewer_than": 2},
+    )
+)
+
+
+def build_jobs(stream) -> list[Job]:
+    jobs = []
+    clock = 0.0
+    for i, (job_type, gap, size) in enumerate(stream):
+        clock += gap
+        jobs.append(
+            Job(job_id=i, job_type=job_type, size=size, arrival_time=clock)
+        )
+    return jobs
+
+
+def run_once(rates, stream, scheduler, dispatcher, machines, knobs, fast):
+    return run_cluster(
+        rates,
+        [
+            make_scheduler(scheduler, rates, CONTEXTS, workload=WORKLOAD)
+            for _ in range(machines)
+        ],
+        make_dispatcher(
+            dispatcher, rates=rates, workload=WORKLOAD, contexts=CONTEXTS
+        ),
+        build_jobs(stream),
+        fast_path=fast,
+        **knobs,
+    )
+
+
+class TestEngineEquivalence:
+    @given(
+        rate_tables,
+        job_streams,
+        scheduler_names,
+        dispatcher_names,
+        n_machines,
+        run_knobs,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_cluster_metrics_bit_identical(
+        self, rates, stream, scheduler, dispatcher, machines, knobs
+    ):
+        fast = run_once(
+            rates, stream, scheduler, dispatcher, machines, knobs, True
+        )
+        legacy = run_once(
+            rates, stream, scheduler, dispatcher, machines, knobs, False
+        )
+        # to_jsonable serializes every field of every per-machine
+        # SystemMetrics (including the per-coschedule time dicts);
+        # == on the payload is exact float equality.
+        assert to_jsonable(fast) == to_jsonable(legacy)
+
+
+# ----------------------------------------------------------------------
+# Scheduler-layer pick identity (random rate tables x queue states).
+# ----------------------------------------------------------------------
+queue_states = st.lists(
+    st.tuples(
+        st.sampled_from(TYPES),
+        st.floats(min_value=0.0, max_value=10.0),  # arrival time
+        st.floats(min_value=1e-6, max_value=4.0),  # remaining work
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+probing_schedulers = st.sampled_from(("maxit", "srpt", "maxtp"))
+
+
+def queue_jobs(state) -> list[Job]:
+    return [
+        Job(
+            job_id=i,
+            job_type=job_type,
+            size=max(remaining, 1e-6),
+            arrival_time=arrival,
+            remaining=remaining,
+        )
+        for i, (job_type, arrival, remaining) in enumerate(state)
+    ]
+
+
+class TestSchedulerPickEquivalence:
+    @given(rate_tables, queue_states, probing_schedulers)
+    @settings(max_examples=200, deadline=None)
+    def test_coded_and_string_probing_pick_identical_jobs(
+        self, rates, state, name
+    ):
+        string_scheduler = make_scheduler(
+            name, rates, CONTEXTS, workload=WORKLOAD
+        )
+        coded_scheduler = make_scheduler(
+            name, rates, CONTEXTS, workload=WORKLOAD
+        )
+        coded_scheduler.bind_rates(RunRateMemo(rates))
+
+        string_pick = string_scheduler.select(queue_jobs(state), clock=0.0)
+        coded_pick = coded_scheduler.select(queue_jobs(state), clock=0.0)
+        assert [job.job_id for job in coded_pick] == [
+            job.job_id for job in string_pick
+        ]
+
+    @given(rate_tables, queue_states, probing_schedulers)
+    @settings(max_examples=50, deadline=None)
+    def test_coded_probing_is_stable_across_repeats(
+        self, rates, state, name
+    ):
+        """Probe memoization must not leak state between selects: the
+        same queue probed twice yields the same pick."""
+        scheduler = make_scheduler(name, rates, CONTEXTS, workload=WORKLOAD)
+        scheduler.bind_rates(RunRateMemo(rates))
+        jobs = queue_jobs(state)
+        first = [job.job_id for job in scheduler.select(jobs, clock=0.0)]
+        second = [job.job_id for job in scheduler.select(jobs, clock=0.0)]
+        assert first == second

@@ -226,6 +226,61 @@ class TestCachedRateSource:
             cached.to_json(io.StringIO())
 
 
+class TestCrashSafePersistence:
+    """A failed dump must never truncate an existing cache file."""
+
+    def test_cached_source_failed_save_preserves_existing_file(
+        self, tmp_path
+    ):
+        path = tmp_path / "rates.json"
+        good = CachedRateSource(small_table())
+        good.type_rates(("A", "B"))
+        good.save(path)
+        before = path.read_text()
+
+        # The reserved separator makes to_json raise midway through
+        # the dump — after the temp file was opened for writing.
+        bad = CachedRateSource(TableRates({("a|b",): {"a|b": 1.0}}))
+        bad.type_rates(("a|b",))
+        with pytest.raises(WorkloadError):
+            bad.save(path)
+
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path], "temp file left behind"
+
+    def test_store_failed_save_preserves_existing_file(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "rates.json"
+        store = RateCacheStore(path)
+        store.wrap(small_table(), section="toy").type_rates(("A", "B"))
+        store.save()
+        before = path.read_text()
+
+        import repro.microarch.rate_cache as rate_cache
+
+        def exploding_dump(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(rate_cache.json, "dump", exploding_dump)
+        with pytest.raises(OSError, match="disk full"):
+            store.save()
+
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path], "temp file left behind"
+
+    def test_save_replaces_atomically_on_success(self, tmp_path):
+        path = tmp_path / "rates.json"
+        cached = CachedRateSource(small_table())
+        cached.type_rates(("A",))
+        cached.save(path)
+        cached.type_rates(("A", "B"))
+        cached.save(path)
+        entries = json.loads(path.read_text())["entries"]
+        assert sorted(entries) == ["A", "A|B"]
+        assert list(tmp_path.iterdir()) == [path]
+
+
 class TestRateCacheStore:
     def test_wrap_save_reload(self, tmp_path):
         path = tmp_path / "rates.json"

@@ -16,6 +16,24 @@ class TestCanonical:
     def test_sorts(self):
         assert canonical_coschedule(["b", "a"]) == ("a", "b")
 
+    def test_already_canonical_tuple_returned_as_is(self):
+        """The fast path: a sorted tuple skips the re-sort and comes
+        back as the *same object* (memo keys stay interned)."""
+        key = ("a", "b", "b", "c")
+        assert canonical_coschedule(key) is key
+        assert canonical_coschedule(()) == ()
+        single = ("mcf",)
+        assert canonical_coschedule(single) is single
+
+    def test_unsorted_tuple_still_sorts(self):
+        assert canonical_coschedule(("b", "a", "c")) == ("a", "b", "c")
+        # equal-element runs are not mistaken for disorder
+        assert canonical_coschedule(("a", "a", "b")) == ("a", "a", "b")
+
+    def test_non_tuple_iterables_always_normalize(self):
+        assert canonical_coschedule(iter(["c", "a"])) == ("a", "c")
+        assert canonical_coschedule({"b": 1, "a": 2}) == ("a", "b")
+
 
 class TestRateTable:
     def test_alone_wipc_is_one(self, smt_rates):

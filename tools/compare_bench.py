@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""CI perf-smoke gate: fresh hot-path timings vs the committed baseline.
+
+Reads a pytest-benchmark ``--benchmark-json`` results file (from
+``benchmarks/bench_hotpath.py``) and the committed ``BENCH_CORE.json``
+trajectory, and applies two checks per workload:
+
+* **speedup** — the fresh, same-machine legacy-path vs fast-path ratio
+  (both measured in this run) must stay above ``--min-speedup``.  This
+  is hardware-independent: a slow CI runner is slow on both paths.
+* **absolute** — the fast-path time must stay under ``--tolerance``
+  times its committed ``fast_s`` baseline, *scaled by the machine
+  factor* (observed legacy time over committed ``legacy_s``, floored
+  at 1 and capped at ``--max-machine-factor``), so a runner that is
+  uniformly slower than the baseline machine does not fail spuriously
+  while a genuine fast-path regression still does.
+
+The factor cap bounds the gate's blind spot for regressions to
+*shared* event-core code (which slow both paths and inflate the
+factor with them): legacy drift beyond ``tolerance`` prints a loud
+warning, and drift beyond ``tolerance * max_machine_factor`` is a
+hard failure.  Without pinned CI hardware the window between those
+two is irreducible — absolute timing cannot distinguish "uniformly
+slower machine" from "uniformly slower code" — but fast-path-specific
+regressions are caught at any machine speed by the budget check and
+the speedup floor.
+
+Both tolerances are deliberately generous: only a wholesale regression
+— the kind the interned-type fast path exists to prevent — should
+trip them.
+
+Usage::
+
+    python tools/compare_bench.py results/bench_hotpath.json \
+        BENCH_CORE.json --tolerance 2.0 --min-speedup 1.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def parse_results(path: Path) -> dict[str, dict[str, float]]:
+    """``{workload: {"fast": min_s, "legacy": min_s}}`` from the
+    pytest-benchmark JSON (legacy entries optional)."""
+    out: dict[str, dict[str, float]] = {}
+    for bench in json.loads(path.read_text()).get("benchmarks", []):
+        name = bench.get("name", "")
+        if "[" not in name or not name.endswith("]"):
+            continue
+        workload = name[name.index("[") + 1 : -1]
+        mode = "legacy" if "legacy" in name.split("[")[0] else "fast"
+        out.setdefault(workload, {})[mode] = bench["stats"]["min"]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark JSON")
+    parser.add_argument("baseline", type=Path, help="BENCH_CORE.json")
+    parser.add_argument("--tolerance", type=float, default=2.0)
+    parser.add_argument("--min-speedup", type=float, default=1.3)
+    parser.add_argument("--max-machine-factor", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    measured = parse_results(args.results)
+    trajectory = json.loads(args.baseline.read_text()).get("trajectory", [])
+    if not trajectory:
+        print("no committed trajectory; nothing to compare", file=sys.stderr)
+        return 1
+    committed = trajectory[-1]["benchmarks"]
+
+    failures = []
+    compared = 0
+    for workload, baseline in sorted(committed.items()):
+        modes = measured.get(workload)
+        if modes is None or "fast" not in modes:
+            print(f"{workload:34s} missing from results", file=sys.stderr)
+            failures.append(workload)
+            continue
+        compared += 1
+        fast = modes["fast"]
+        legacy = modes.get("legacy")
+
+        factor = 1.0
+        drift_ok = True
+        if legacy is not None and baseline.get("legacy_s"):
+            drift = legacy / baseline["legacy_s"]
+            factor = min(max(1.0, drift), args.max_machine_factor)
+            if drift > args.tolerance * args.max_machine_factor:
+                drift_ok = False
+                print(
+                    f"FAIL: {workload} legacy path ran {drift:.2f}x its "
+                    f"committed {baseline['legacy_s']:.4f}s — beyond any "
+                    "plausible machine difference; shared event-core "
+                    "code has regressed"
+                )
+            elif drift > args.tolerance:
+                print(
+                    f"WARNING: {workload} legacy path ran {drift:.2f}x "
+                    f"its committed {baseline['legacy_s']:.4f}s — slow "
+                    "machine, or a regression to shared event-core code"
+                )
+        budget = baseline["fast_s"] * args.tolerance * factor
+        absolute_ok = fast <= budget and drift_ok
+
+        speedup = legacy / fast if legacy is not None else None
+        speedup_ok = speedup is None or speedup >= args.min_speedup
+
+        verdict = "ok" if absolute_ok and speedup_ok else "REGRESSED"
+        speedup_text = (
+            f"speedup {speedup:5.2f}x (floor {args.min_speedup}x)"
+            if speedup is not None
+            else "speedup n/a"
+        )
+        print(
+            f"{workload:34s} fast {fast:8.4f}s   budget {budget:8.4f}s "
+            f"({args.tolerance}x of {baseline['fast_s']:.4f}s, machine "
+            f"factor {factor:.2f})   {speedup_text}   {verdict}"
+        )
+        if not (absolute_ok and speedup_ok):
+            failures.append(workload)
+
+    if compared == 0:
+        print("no hot-path benchmarks found in results", file=sys.stderr)
+        return 1
+    if failures:
+        print(
+            f"perf smoke FAILED for: {', '.join(failures)}", file=sys.stderr
+        )
+        return 1
+    print(f"perf smoke ok ({compared} workloads within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
