@@ -1,13 +1,15 @@
-"""Benchmark: the interned-type event-core hot path (perf point 0).
+"""Benchmark: the event-core hot paths (perf points 0 and 1).
 
-Times the two fixed synthetic-rate workloads of
+Times the fixed synthetic-rate workloads of
 :mod:`repro.queueing.hotpath` — the saturated MAXIT/SRPT probing
-cluster and the bursty MAXTP + affinity scenario run — on the compiled
-fast path, and checks them against the committed ``BENCH_CORE.json``
-perf trajectory with a generous tolerance (CI hardware varies; only a
-wholesale regression fails).  A correctness assertion pins the fast
-path to the legacy string path on the MAXIT workload: identical
-completions, work, and turnarounds.
+clusters (narrow and wide) and the bursty MAXTP + affinity scenario
+run — on the interned-type fast path (point 0) and the count-vector
+compiled engine (point 1), and checks them against the committed
+``BENCH_CORE.json`` perf trajectory with a generous tolerance (CI
+hardware varies; only a wholesale regression fails).  A correctness
+assertion pins the fast path to the legacy string path on the MAXIT
+workload: identical completions, work, and turnarounds (the exhaustive
+three-engine pin is ``tests/property/test_differential_engines.py``).
 
 Refreshing the baseline after an intentional perf-relevant change::
 
@@ -91,6 +93,44 @@ def test_hotpath(benchmark, workload):
             f"{workload}: {measured:.3f}s exceeds {budget:.3f}s "
             f"({BASELINE_TOLERANCE}x the committed {baseline['fast_s']:.3f}s "
             "baseline) — the hot path regressed; see BENCH_CORE.json"
+        )
+
+
+@pytest.mark.parametrize("workload", sorted(HOTPATH_WORKLOADS))
+def test_hotpath_compiled(benchmark, workload):
+    """The count-vector compiled engine (perf point 1).
+
+    Surfaces the engine's own counters (fusion, batching, probe
+    vectorization) in the benchmark JSON, and gates the timing against
+    the committed ``compiled_s`` baseline.
+    """
+    runner = HOTPATH_WORKLOADS[workload]
+    metrics, stats = benchmark.pedantic(
+        runner, kwargs={"engine": "compiled"}, rounds=3, iterations=1
+    )
+
+    assert stats is not None
+    engine_stats = stats.get("engine")
+    assert engine_stats is not None, "compiled run reported no engine stats"
+    print(f"\n[{workload}] engine stats: {engine_stats}")
+    benchmark.extra_info["memo_stats"] = {
+        k: v for k, v in stats.items() if k != "engine"
+    }
+    benchmark.extra_info["engine_stats"] = engine_stats
+    benchmark.extra_info["completed"] = metrics.completed
+
+    baseline = committed_baseline().get(workload)
+    if baseline:
+        assert metrics.completed == baseline["completed"]
+        if not BASELINE_TOLERANCE or not baseline.get("compiled_s"):
+            return
+        measured = benchmark.stats.stats.min
+        budget = baseline["compiled_s"] * BASELINE_TOLERANCE
+        assert measured <= budget, (
+            f"{workload}: {measured:.3f}s exceeds {budget:.3f}s "
+            f"({BASELINE_TOLERANCE}x the committed "
+            f"{baseline['compiled_s']:.3f}s baseline) — the compiled "
+            "engine regressed; see BENCH_CORE.json"
         )
 
 

@@ -32,7 +32,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.registry import Experiment, RunOptions, register
 from repro.microarch.rates import RateSource, infer_contexts
-from repro.queueing.cluster import ClusterMetrics, run_cluster
+from repro.queueing.cluster import Cluster, ClusterMetrics
 from repro.queueing.dispatch import make_dispatcher
 from repro.queueing.scenarios import Scenario, all_scenarios
 from repro.queueing.schedulers import make_scheduler
@@ -66,6 +66,12 @@ class ScenarioOutcome:
         empty_fraction: mean per-machine fraction of empty time.
         fairness: min/max per-machine utilization (1.0 = even).
         completed: jobs completed inside the measurement window.
+        engine: engine that advanced the run (all three are
+            bit-identical; this is provenance, not a result axis).
+        memo_stats: the run's ``RunRateMemo`` hit/miss counters.
+        engine_stats: compiled-engine counters (fusion count, batch
+            sizes, probe vectorization hit rate); ``None`` on the
+            legacy/fast engines.
     """
 
     scenario: str
@@ -79,6 +85,9 @@ class ScenarioOutcome:
     empty_fraction: float
     fairness: float
     completed: int
+    engine: str = "fast"
+    memo_stats: dict | None = None
+    engine_stats: dict | None = None
 
 
 def _fairness(metrics: ClusterMetrics) -> float:
@@ -107,12 +116,17 @@ def run_scenario(
     seed: int = 0,
     contexts: int | None = None,
     capacity: float | None = None,
+    engine: str | None = None,
+    backend: str | None = None,
 ) -> ScenarioOutcome:
     """Run one (scenario, dispatcher) cell on the cluster simulator.
 
     ``capacity`` is the cluster's LP work rate (M × single-machine
     optimum); pass it when sweeping to amortize the LP solve, else it
-    is computed here.
+    is computed here.  ``engine``/``backend`` select the event loop
+    exactly as in :meth:`Cluster.run` (all engines are bit-identical;
+    the compiled one additionally reports its fusion/batching/
+    vectorization counters in the outcome).
     """
     k = infer_contexts(rates, contexts)
     if capacity is None:
@@ -135,12 +149,14 @@ def run_scenario(
         make_scheduler(scheduler, rates, k, workload=workload)
         for _ in range(n_machines)
     ]
-    metrics = run_cluster(
+    cluster = Cluster(
         rates,
         schedulers,
         make_dispatcher(
             dispatcher, rates=rates, workload=workload, contexts=k
         ),
+    )
+    metrics = cluster.run(
         stream,
         stop_when_fewer_than=(
             n_machines * k if scenario.saturated else None
@@ -148,6 +164,8 @@ def run_scenario(
         keep_in_system=(
             scenario.backlog_per_machine if scenario.saturated else None
         ),
+        engine=engine,
+        backend=backend,
     )
     return ScenarioOutcome(
         scenario=scenario.name,
@@ -163,6 +181,9 @@ def run_scenario(
         empty_fraction=metrics.empty_fraction,
         fairness=_fairness(metrics),
         completed=metrics.completed,
+        engine=engine or "fast",
+        memo_stats=cluster.last_memo_stats,
+        engine_stats=cluster.last_engine_stats,
     )
 
 
@@ -177,8 +198,15 @@ def compute_scenario_sweep(
     n_jobs: int | None = None,
     seed: int = 0,
     contexts: int | None = None,
+    engine: str | None = "compiled",
+    backend: str | None = None,
 ) -> list[ScenarioOutcome]:
-    """Sweep every scenario against every dispatcher on one workload."""
+    """Sweep every scenario against every dispatcher on one workload.
+
+    Defaults to the compiled engine (bit-identical to the others) so
+    every cell's JSON carries the engine counters alongside the memo
+    stats; pass ``engine=None`` for the plain fast path.
+    """
     k = infer_contexts(rates, contexts)
     capacity = n_machines * optimal_throughput(
         rates, workload, contexts=k
@@ -198,6 +226,8 @@ def compute_scenario_sweep(
                     seed=seed,
                     contexts=k,
                     capacity=capacity,
+                    engine=engine,
+                    backend=backend,
                 )
             )
     return outcomes

@@ -391,6 +391,10 @@ class Cluster:
         #: Hit/miss/size counters of the last run's memo (see
         #: :meth:`RunRateMemo.stats_dict`); ``None`` before any run.
         self.last_memo_stats: dict[str, object] | None = None
+        #: Compiled-engine counters of the last run (see
+        #: :meth:`repro.queueing.compiled.CompiledEngineStats.as_dict`);
+        #: ``None`` before any run and after legacy/fast runs.
+        self.last_engine_stats: dict[str, object] | None = None
 
     @property
     def n_machines(self) -> int:
@@ -407,6 +411,10 @@ class Cluster:
         keep_in_system: int | None = None,
         max_events: int = 5_000_000,
         fast_path: bool = True,
+        engine: str | None = None,
+        backend: str | None = None,
+        engine_options: dict[str, bool] | None = None,
+        pick_log: list | None = None,
     ) -> ClusterMetrics:
         """Run the cluster to completion and return per-machine metrics.
 
@@ -423,24 +431,55 @@ class Cluster:
                 until its dispatch target has room; if every machine is
                 full, the stream stalls until a completion.
             max_events: safety bound on processed events.
-            fast_path: run on the interned-type compiled memo (the
-                default).  ``False`` takes the legacy string path —
-                bit-identical by construction, pinned so by a property
-                test; it exists for that test and for before/after
-                profiling (``tools/profile_hotpaths.py``).
+            fast_path: legacy spelling of the engine switch, honoured
+                when ``engine`` is ``None``: ``True`` → ``"fast"``,
+                ``False`` → ``"legacy"``.
+            engine: which event loop advances the run — all three are
+                bit-identical (pinned by the differential fuzz harness
+                in ``tests/property/test_differential_engines.py``):
+
+                * ``"legacy"`` — the pre-interning string path, kept
+                  in-tree for equivalence testing and before/after
+                  profiling;
+                * ``"fast"`` — the PR-4 interned-type path (compiled
+                  memo + per-machine lazy sync);
+                * ``"compiled"`` — the count-vector engine
+                  (:mod:`repro.queueing.compiled`): dense per-machine
+                  type counts, event fusion, machine batching, and
+                  vectorized probe scoring.
+            backend: compiled-engine probe-scoring backend,
+                ``"numpy"`` or ``"tuples"`` (``None`` → the benchmarked
+                default, numpy when importable).  Ignored by the other
+                engines.
+            engine_options: compiled-engine debug knobs (``{"fuse":
+                False}`` / ``{"batch": False}``) used by the isolation
+                property tests; either knob off must not change a bit
+                of any output.
+            pick_log: optional list; every engine appends one
+                ``(machine_id, (job_id, ...))`` entry per scheduling
+                decision, in decision order — the pick-sequence trace
+                the differential harness compares across engines.
         """
-        memo = RunRateMemo(self.rates, compiled=fast_path)
+        if engine is None:
+            engine = "fast" if fast_path else "legacy"
+        if engine not in ("legacy", "fast", "compiled"):
+            raise SimulationError(
+                f"unknown engine {engine!r}; choose legacy, fast, "
+                "or compiled"
+            )
+        fast = engine != "legacy"
+        memo = RunRateMemo(self.rates, compiled=fast)
         machines = [
             Machine(machine_id=i, scheduler=s)
             for i, s in enumerate(self.schedulers)
         ]
-        if fast_path:
+        if fast:
             for machine in machines:
                 machine.jobs.enable_index(memo.codec)
         stream = iter(arrivals)
         stream = (
             _encoded_stream(stream, memo.codec)
-            if fast_path
+            if fast
             else _uncoded_stream(stream)
         )
         # Hoist the per-run memo into every scheduler that probes the
@@ -456,19 +495,53 @@ class Cluster:
         # it onto the run's type ids; unbound on exit so a later run —
         # whose codec may assign different ids — starts clean.
         bind_codec = getattr(self.dispatcher, "bind_codec", None)
-        if bind_codec is not None and fast_path:
+        if bind_codec is not None and fast:
             bind_codec(memo.codec)
+        engine_stats = None
         try:
-            self._event_loop(
-                memo,
-                machines,
-                stream,
-                warmup_time=warmup_time,
-                horizon=horizon,
-                stop_when_fewer_than=stop_when_fewer_than,
-                keep_in_system=keep_in_system,
-                max_events=max_events,
-            )
+            if engine == "compiled":
+                from repro.queueing.compiled import (
+                    CompiledEngineStats,
+                    default_backend,
+                    run_compiled,
+                    BACKENDS,
+                )
+
+                resolved = backend or default_backend()
+                if resolved not in BACKENDS:
+                    raise SimulationError(
+                        f"unknown backend {resolved!r}; choose "
+                        f"{' or '.join(BACKENDS)}"
+                    )
+                options = engine_options or {}
+                engine_stats = CompiledEngineStats(backend=resolved)
+                run_compiled(
+                    memo,
+                    machines,
+                    stream,
+                    warmup_time=warmup_time,
+                    horizon=horizon,
+                    stop_when_fewer_than=stop_when_fewer_than,
+                    keep_in_system=keep_in_system,
+                    max_events=max_events,
+                    stats=engine_stats,
+                    dispatcher=self.dispatcher,
+                    fuse=options.get("fuse", True),
+                    batch=options.get("batch", True),
+                    pick_log=pick_log,
+                )
+            else:
+                self._event_loop(
+                    memo,
+                    machines,
+                    stream,
+                    warmup_time=warmup_time,
+                    horizon=horizon,
+                    stop_when_fewer_than=stop_when_fewer_than,
+                    keep_in_system=keep_in_system,
+                    max_events=max_events,
+                    pick_log=pick_log,
+                )
         finally:
             for scheduler in rebound:
                 scheduler.bind_rates(self.rates)
@@ -478,6 +551,9 @@ class Cluster:
             # catching the error should see this run's counters, not
             # the previous run's.
             self.last_memo_stats = memo.stats_dict()
+            self.last_engine_stats = (
+                engine_stats.as_dict() if engine_stats is not None else None
+            )
         return ClusterMetrics(
             per_machine=tuple(m.metrics for m in machines)
         )
@@ -493,6 +569,7 @@ class Cluster:
         stop_when_fewer_than: int | None,
         keep_in_system: int | None,
         max_events: int,
+        pick_log: list | None = None,
     ) -> None:
         dispatcher = self.dispatcher
         pending: Job | None = next(stream, None)
@@ -590,6 +667,15 @@ class Cluster:
             if dirty_list:
                 for machine in dirty_list:
                     machine.reschedule(memo, clock)
+                    if pick_log is not None:
+                        pick_log.append(
+                            (
+                                machine.machine_id,
+                                tuple(
+                                    job.job_id for job in machine.running
+                                ),
+                            )
+                        )
                     if machine.running:
                         heapq.heappush(
                             heap,
@@ -700,6 +786,10 @@ def run_cluster(
     keep_in_system: int | None = None,
     max_events: int = 5_000_000,
     fast_path: bool = True,
+    engine: str | None = None,
+    backend: str | None = None,
+    engine_options: dict[str, bool] | None = None,
+    pick_log: list | None = None,
 ) -> ClusterMetrics:
     """Build a :class:`Cluster` and run it once (convenience wrapper)."""
     cluster = Cluster(rates, schedulers, dispatcher)
@@ -711,4 +801,8 @@ def run_cluster(
         keep_in_system=keep_in_system,
         max_events=max_events,
         fast_path=fast_path,
+        engine=engine,
+        backend=backend,
+        engine_options=engine_options,
+        pick_log=pick_log,
     )

@@ -1,0 +1,968 @@
+"""Count-vector compiled engine: perf trajectory point 1.
+
+The PR-4 fast path interned type names and memoized probes, but still
+advances the cluster one Python event at a time through the generic
+:class:`~repro.queueing.cluster.Machine` / ``Scheduler.select`` stack.
+This module re-expresses per-machine state as **dense type-count
+vectors** keyed by the run's
+:class:`~repro.microarch.codec.TypeCodec` and drives the run through a
+specialized event loop (``engine="compiled"`` on
+:meth:`~repro.queueing.cluster.Cluster.run`):
+
+* **count vectors** — each machine maintains ``counts[type_id]``
+  incrementally at admission/completion, so the probe key of a
+  scheduling decision (the capped per-type count tuple) is an O(types)
+  scan with no sorting, no ``Counter``, and no per-job pass;
+* **event fusion** — consecutive events that leave a machine's count
+  vector (and therefore its rates) unchanged are fused: zero-length
+  syncs (batched same-instant arrivals, the admission that follows a
+  completion in a saturated backlog) are skipped outright, because a
+  zero-span sync is a *provable float no-op* on every metric and job
+  field; and a departure the scheduler refills with the same type
+  multiset reuses the previous coschedule's rate entry without
+  touching the memo;
+* **machine batching** — when several machines reschedule in one
+  dirty-flush (run start, horizon clamp, simultaneous events), those
+  with identical count vectors share one probe resolution and — when
+  the decision is machine-independent (a unique MAXIT winner) — one
+  resolved candidate template, instantiated per machine from its own
+  job pools;
+* **vectorized probe scoring** — MAXIT/SRPT/MAXTP scoring runs over
+  the memoized candidate set as array operations.  SRPT (the only
+  scorer whose objective depends on continuous per-job state) has two
+  backends behind the ``backend=`` switch: ``"tuples"`` (pure-int
+  tuple iteration, zero dependencies) and ``"numpy"`` (one gather +
+  one segmented reduction across *all* candidates at once).  Both are
+  bit-identical to the string path: the numpy backend divides and
+  accumulates the exact floats, in the exact order, of the legacy
+  per-candidate loop (``np.add.reduceat`` sums each segment
+  sequentially).
+
+**Bit-identity is the contract.**  Every float written to a job, a
+metric, or a scheduler observation is produced by the same operation,
+on the same operands, in the same order as the legacy engine; anything
+that cannot be made exactly identical (e.g. summing a queue's affinity
+by count×weight instead of per job) is deliberately *not* done.
+``tests/property/test_differential_engines.py`` fuzzes random
+(scenario, dispatcher, scheduler, cluster, horizon) configurations and
+asserts bit-identical :class:`~repro.queueing.cluster.ClusterMetrics`
+and scheduler pick sequences across all three engines, and
+``tests/property/test_compiled_invariants.py`` pins the fusion and
+batching layers in isolation via the ``fuse``/``batch`` debug knobs.
+
+Schedulers the engine does not specialize (LJF, random, or any
+scheduler probing a counterfactual rate source) fall back to their own
+``select`` — the compiled engine is a superset, never a restriction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import SimulationError
+from repro.queueing.job import Job
+from repro.queueing.ratememo import CandidateSet, ProbeCandidate, RunRateMemo
+from repro.queueing.schedulers import (
+    FcfsScheduler,
+    MaxItScheduler,
+    MaxTpScheduler,
+    Scheduler,
+    SrptScheduler,
+    _age_key,
+)
+
+try:  # pragma: no cover - exercised via both backends in the test suite
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+__all__ = [
+    "CompiledEngineStats",
+    "default_backend",
+    "run_compiled",
+    "BACKENDS",
+]
+
+_EPSILON = 1e-9
+_INF = float("inf")
+
+#: Recognized values of the ``backend=`` switch.
+BACKENDS = ("tuples", "numpy")
+
+#: Below this many feasible candidates the numpy backend's fixed
+#: per-call overhead (array fills, one gather, one reduction) loses to
+#: the plain tuple loop, so ``backend="numpy"`` only vectorizes probes
+#: at or above it.  Measured on the ``bench_hotpath`` workloads; both
+#: code paths are bit-identical, so the threshold is pure tuning.
+NUMPY_MIN_CANDIDATES = 12
+
+
+def default_backend() -> str:
+    """The scoring backend used when ``backend=None``.
+
+    Benchmarked head to head on the four ``HOTPATH_WORKLOADS``
+    (see ``tools/profile_hotpaths.py --engine compiled``), pure-int
+    tuples win or tie everywhere — per-decision candidate sets are
+    small enough that numpy's array-construction overhead cancels its
+    scoring throughput except on the widest SRPT probes, where the two
+    backends tie.  ``backend="numpy"`` stays available behind the
+    switch for workloads with much wider candidate spaces.
+    """
+    return "tuples"
+
+
+@dataclass
+class CompiledEngineStats:
+    """Observable counters of one compiled-engine run.
+
+    Attributes:
+        backend: resolved scoring backend of the run.
+        events: event-loop iterations consumed.
+        reschedules: scheduling decisions made.
+        fused_syncs: zero-span machine syncs skipped by event fusion.
+        fused_entries: reschedules that reused the machine's previous
+            coschedule rate entry (departure refilled with the same
+            type multiset).
+        batch_rounds: dirty-flushes that rescheduled >1 machine.
+        batch_shared: reschedules served from a batch-shared template
+            (identical count vectors inside one flush).
+        max_batch: largest dirty-flush seen.
+        probe_hits: probes answered from the memoized candidate sets.
+        probe_builds: probes that had to build a candidate set.
+        vectorized_probes: SRPT scorings run on the numpy backend.
+        scalar_probes: SRPT scorings run on the tuple loop.
+    """
+
+    backend: str
+    events: int = 0
+    reschedules: int = 0
+    fused_syncs: int = 0
+    fused_entries: int = 0
+    batch_rounds: int = 0
+    batch_shared: int = 0
+    max_batch: int = 1
+    probe_hits: int = 0
+    probe_builds: int = 0
+    vectorized_probes: int = 0
+    scalar_probes: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly counters plus derived rates."""
+        probes = self.probe_hits + self.probe_builds
+        scored = self.vectorized_probes + self.scalar_probes
+        return {
+            "backend": self.backend,
+            "events": self.events,
+            "reschedules": self.reschedules,
+            "fused_syncs": self.fused_syncs,
+            "fused_entries": self.fused_entries,
+            "batch_rounds": self.batch_rounds,
+            "batch_shared": self.batch_shared,
+            "max_batch": self.max_batch,
+            "probe_hits": self.probe_hits,
+            "probe_builds": self.probe_builds,
+            "probe_hit_rate": (
+                round(self.probe_hits / probes, 4) if probes else 0.0
+            ),
+            "vectorized_probes": self.vectorized_probes,
+            "scalar_probes": self.scalar_probes,
+            "vectorization_hit_rate": (
+                round(self.vectorized_probes / scored, 4) if scored else 0.0
+            ),
+        }
+
+
+class _MState:
+    """Per-machine compiled state riding alongside a ``Machine``.
+
+    The ``Machine`` object stays authoritative for everything the rest
+    of the system reads (dispatchers inspect ``machine.jobs``, metrics
+    live on ``machine.metrics``); this wrapper only adds the derived
+    hot-path state: the incremental count vector, the scheduler
+    specialization, and the fusion bookkeeping.
+    """
+
+    __slots__ = (
+        "machine",
+        "counts",
+        "kind",
+        "observe",
+        "zero_obs_safe",
+        "age_ok",
+        "last_codes_key",
+        "probe_cache",
+        "maxtp_targets",
+        "deficit",
+    )
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        #: counts[type_id] = jobs of that type on the machine.
+        self.counts: list[int] = []
+        #: specialized selector tag; None = generic ``select`` fallback.
+        self.kind: str | None = None
+        #: the scheduler's observe hook, or None when it is the base
+        #: no-op (so steady-state syncs skip a useless call).
+        self.observe: Callable | None = None
+        #: True when calling observe with dt=0 is a provable no-op
+        #: (base hook or MAXTP's ``+= dt``), enabling zero-span fusion.
+        self.zero_obs_safe: bool = True
+        #: True while the job list is (arrival, id)-sorted, letting
+        #: age-ordered picks slice queue pools without sorting.
+        self.age_ok: bool = True
+        #: sorted code tuple of the current coschedule (refill fusion).
+        self.last_codes_key: tuple[int, ...] | None = None
+        #: (size, capped counts_key, CandidateSet) of the last probe,
+        #: kept while no count crosses the contexts cap (deep-backlog
+        #: steady state: the capped key cannot have changed).
+        self.probe_cache: tuple | None = None
+        #: MAXTP only: [(names, count_items)] in target-fraction order.
+        self.maxtp_targets: list | None = None
+        #: MAXTP only: the scheduler's bound ``_deficit``.
+        self.deficit: Callable | None = None
+
+
+def _prepare_state(
+    machines: Sequence, memo: RunRateMemo
+) -> list[_MState]:
+    """Classify every machine's scheduler and build its state."""
+    codec = memo.codec
+    states = []
+    for machine in machines:
+        ms = _MState(machine)
+        scheduler = machine.scheduler
+        observe = type(scheduler).observe
+        if observe is not Scheduler.observe:
+            ms.observe = scheduler.observe
+            ms.zero_obs_safe = observe is MaxTpScheduler.observe
+        # Specialize only schedulers probing *this run's* memo — one
+        # probing a counterfactual source must keep doing exactly that
+        # through its own ``select``.
+        if scheduler.rates is memo:
+            kind = type(scheduler)
+            if kind is MaxItScheduler:
+                ms.kind = "maxit"
+            elif kind is SrptScheduler:
+                ms.kind = "srpt"
+            elif kind is FcfsScheduler:
+                ms.kind = "fcfs"
+            elif kind is MaxTpScheduler:
+                ms.kind = "maxtp"
+                # Intern the LP targets up front (ids are mode-internal;
+                # candidate enumeration and tie-breaks stay name-based).
+                from collections import Counter
+
+                ms.maxtp_targets = [
+                    (
+                        s,
+                        tuple(
+                            (codec.encode(t), c)
+                            for t, c in Counter(s).items()
+                        ),
+                        tuple(sorted(codec.encode(t) for t in s)),
+                    )
+                    for s in scheduler.target_fractions
+                ]
+                ms.deficit = scheduler._deficit
+        states.append(ms)
+    return states
+
+
+def _sorted_pool(pools: dict, by_code: dict, code: int) -> list[Job]:
+    """Age-sorted pool cache for machines whose admission order was
+    perturbed (out-of-order ids within the arrival epsilon)."""
+    pool = pools.get(code)
+    if pool is None:
+        pool = sorted(by_code[code], key=_age_key)
+        pools[code] = pool
+    return pool
+
+
+def _srpt_arrays(probe: CandidateSet, size: int):
+    """Lazy numpy scoring arrays of one memoized candidate set.
+
+    Lays every feasible candidate's ``(type, count, rate)`` items out
+    as one fixed-width 2D gather into a per-decision prefix matrix
+    (row = position of the type in the probe key, column = count).
+    Candidates with fewer item slots are padded with the index of a
+    dedicated always-0.0 cell and a divisor of 1.0, so their trailing
+    terms are exact ``+ 0.0/1.0`` no-ops — the per-candidate total is
+    then accumulated **column by column**, which performs precisely
+    the left-to-right float additions of the legacy scalar loop
+    (``np.sum``/``reduceat`` would not: numpy's pairwise summation
+    produces different bits).  Built once per (count vector, size)
+    memo entry.
+    """
+    arrays = probe.srpt_np
+    if arrays is None:
+        width = size + 1
+        n_rows = len(probe.key_codes)
+        zero_cell = n_rows * width  # matrix is padded by one 0.0 slot
+        rows = {code: i for i, code in enumerate(probe.key_codes)}
+        feasible = probe.feasible
+        n_items = max(len(c.srpt_items) for c in feasible)
+        gather = _np.full(
+            (len(feasible), n_items), zero_cell, dtype=_np.intp
+        )
+        rates = _np.ones((len(feasible), n_items), dtype=_np.float64)
+        max_count: dict[int, int] = {}
+        for i, candidate in enumerate(feasible):
+            for j, (code, count, rate) in enumerate(candidate.srpt_items):
+                gather[i, j] = rows[code] * width + count
+                rates[i, j] = rate
+                if count > max_count.get(code, 0):
+                    max_count[code] = count
+        fill = [(rows[code], count) for code, count in max_count.items()]
+        arrays = (gather, rates, n_rows, width, fill)
+        probe.srpt_np = arrays
+    return arrays
+
+
+def run_compiled(
+    memo: RunRateMemo,
+    machines: Sequence,
+    stream: Iterator[Job],
+    *,
+    warmup_time: float,
+    horizon: float | None,
+    stop_when_fewer_than: int | None,
+    keep_in_system: int | None,
+    max_events: int,
+    stats: CompiledEngineStats,
+    dispatcher,
+    fuse: bool = True,
+    batch: bool = True,
+    pick_log: list | None = None,
+) -> None:
+    """The compiled event loop (semantics of ``Cluster._event_loop``).
+
+    Mutates the machines' metrics in place, exactly as the legacy loop
+    does; ``stats`` is filled in as the run progresses (so a raising
+    run still reports its counters).  ``fuse`` and ``batch`` are debug
+    knobs for the isolation property tests — disabling them must not
+    change a single bit of any output.
+    """
+    backend = stats.backend
+    use_numpy = backend == "numpy" and _np is not None
+    states = _prepare_state(machines, memo)
+    n_machines = len(machines)
+    all_ids = list(range(n_machines))
+    codec = memo.codec
+    probe_cached = memo.probe_cached
+    probe_build = memo.probe_filtered
+    compiled_entry = memo.compiled_entry
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    pending: Job | None = next(stream, None)
+    clock = 0.0
+    last_arrival = -1.0
+    heap: list[tuple[float, int, int]] = []
+    routed: int | None = None
+    in_system = 0
+    full_machines = 0
+    dirty_list: list[_MState] = list(states)
+    for ms in states:
+        ms.machine.dirty = True
+
+    # ------------------------------------------------------------------
+    # Inner helpers (closures: locals beat attribute lookups here).
+    # ------------------------------------------------------------------
+    def sync(ms: _MState, new_clock: float, span: float | None) -> None:
+        machine = ms.machine
+        last = machine.last_sync
+        if fuse and new_clock == last:
+            # Zero-span fusion: progress(0.0), a <=0-measured interval,
+            # and observe(cos, 0.0) are all exact float no-ops (MAXTP's
+            # accumulators only ever hold non-negative values).
+            if not ms.zero_obs_safe:
+                ms.observe(machine.coschedule, 0.0)
+            stats.fused_syncs += 1
+            return
+        if span is None:
+            span = new_clock - last
+        work = 0.0
+        rates = machine.rates_by_code
+        for job in machine.running:
+            step = rates[job.type_code] * span
+            remaining = job.remaining - step
+            job.remaining = remaining if remaining > 0.0 else 0.0
+            work += step
+        measured = new_clock - (last if last > warmup_time else warmup_time)
+        if measured > 0.0:
+            fraction = measured / span if span > 0.0 else 0.0
+            machine.metrics.observe_interval(
+                measured,
+                machine.coschedule,
+                len(machine.jobs),
+                work * fraction,
+            )
+        if ms.observe is not None:
+            ms.observe(machine.coschedule, span)
+        machine.last_sync = new_clock
+
+    def probe_for(
+        ms: _MState, size: int
+    ) -> tuple[tuple[tuple[int, int], ...], CandidateSet]:
+        """Capped probe key from the count vector, and its candidates."""
+        cached = ms.probe_cache
+        if cached is not None and cached[0] == size:
+            # No count crossed the cap since this was built, so the
+            # capped key — and therefore the candidate set — is
+            # byte-identical to rebuilding it.
+            stats.probe_hits += 1
+            return cached[1], cached[2]
+        key_items = []
+        for code, count in enumerate(ms.counts):
+            if count:
+                key_items.append(
+                    (code, count if count < size else size)
+                )
+        counts_key = tuple(key_items)
+        probe = probe_cached(counts_key, size)
+        if probe is None:
+            probe = probe_build(counts_key, size)
+            stats.probe_builds += 1
+        else:
+            stats.probe_hits += 1
+        ms.probe_cache = (size, counts_key, probe)
+        return counts_key, probe
+
+    def instantiate(
+        ms: _MState, candidate: ProbeCandidate
+    ) -> list[Job]:
+        """The candidate's jobs, oldest-first per type (legacy order)."""
+        by_code = ms.machine.jobs.by_code
+        chosen: list[Job] = []
+        if ms.age_ok:
+            for code, count in candidate.count_items:
+                chosen.extend(by_code[code][:count])
+        else:
+            pools: dict[int, list[Job]] = {}
+            for code, count in candidate.count_items:
+                chosen.extend(_sorted_pool(pools, by_code, code)[:count])
+        return chosen
+
+    def accumulate_age(
+        ms: _MState,
+        candidate: ProbeCandidate,
+        pools: dict[int, list[Job]],
+    ) -> float:
+        by_code = ms.machine.jobs.by_code
+        age = 0.0
+        if ms.age_ok:
+            for code, count in candidate.count_items:
+                for job in by_code[code][:count]:
+                    age += job.arrival_time
+        else:
+            for code, count in candidate.count_items:
+                for job in _sorted_pool(pools, by_code, code)[:count]:
+                    age += job.arrival_time
+        return age
+
+    def pick_maxit(
+        ms: _MState, n_jobs: int, flush_cache: dict | None
+    ) -> tuple[list[Job], tuple[int, ...]]:
+        size = ms.machine.contexts
+        if n_jobs < size:
+            size = n_jobs
+        counts_key, probe = probe_for(ms, size)
+        best = None
+        if flush_cache is None:
+            group = probe.max_it_group
+            if len(group) == 1:
+                best = group[0]
+        else:
+            # Batched flush: machines with identical (capped) count
+            # vectors share the resolved winner when it is machine-
+            # independent (a unique MAXIT candidate needs no ages).
+            cache_key = (counts_key, size)
+            if cache_key in flush_cache:
+                best = flush_cache[cache_key]
+                if best is not None:
+                    stats.batch_shared += 1
+            else:
+                group = probe.max_it_group
+                if len(group) == 1:
+                    best = group[0]
+                # None is cached too: it records "winner is machine-
+                # dependent (age tie)", sparing peers the group check.
+                flush_cache[cache_key] = best
+        if best is None:
+            group = probe.max_it_group
+            pools: dict[int, list[Job]] = {}
+            best_age = None
+            for candidate in group:
+                age = accumulate_age(ms, candidate, pools)
+                if best_age is None or age < best_age:
+                    best_age = age
+                    best = candidate
+        return instantiate(ms, best), best.codes_key
+
+    def pick_srpt(
+        ms: _MState, n_jobs: int
+    ) -> tuple[list[Job], tuple[int, ...]]:
+        size = ms.machine.contexts
+        if n_jobs < size:
+            size = n_jobs
+        _, probe = probe_for(ms, size)
+        feasible = probe.feasible
+        if not feasible:
+            raise SimulationError("no feasible coschedule (zero rates?)")
+        by_code = ms.machine.jobs.by_code
+        # pools[code] = (jobs shortest-remaining-first, prefix sums) —
+        # the prefix sums perform the exact additions of the legacy
+        # ``sum(pool[:count])``.
+        pools: dict[int, tuple[list[Job], list[float]]] = {}
+
+        def pool(code: int) -> tuple[list[Job], list[float]]:
+            entry = pools.get(code)
+            if entry is None:
+                ordered = sorted(
+                    by_code[code],
+                    key=lambda job: (job.remaining, job.job_id),
+                )
+                prefix = [0.0]
+                acc = 0.0
+                for job in ordered:
+                    acc += job.remaining
+                    prefix.append(acc)
+                entry = (ordered, prefix)
+                pools[code] = entry
+            return entry
+
+        if use_numpy and len(feasible) >= NUMPY_MIN_CANDIDATES:
+            stats.vectorized_probes += 1
+            gather, rates, n_rows, width, fill = _srpt_arrays(probe, size)
+            matrix = _np.empty(n_rows * width + 1, dtype=_np.float64)
+            matrix[-1] = 0.0  # the padding cell
+            for row, count in fill:
+                prefix = pool(probe.key_codes[row])[1]
+                base = row * width
+                matrix[base : base + count + 1] = prefix[: count + 1]
+            # One gather + one divide, then column-by-column adds: the
+            # same divisions and the same left-to-right additions as
+            # the legacy per-candidate loop, hence the same floats
+            # (padded slots append exact + 0.0 no-ops).
+            vals = matrix[gather] / rates
+            totals = vals[:, 0].copy()
+            for column in range(1, vals.shape[1]):
+                totals += vals[:, column]
+            first = int(totals.argmin())
+            best_total = totals[first]
+            ties = _np.flatnonzero(totals == best_total)
+            if len(ties) == 1:
+                best = feasible[first]
+            else:
+                age_pools: dict[int, list[Job]] = {}
+
+                def age_of(candidate: ProbeCandidate) -> float:
+                    age = 0.0
+                    for code, count in candidate.count_items:
+                        for job in pool(code)[0][:count]:
+                            age += job.arrival_time
+                    return age
+
+                best = feasible[first]
+                best_age = age_of(best)
+                for index in ties[1:]:
+                    candidate = feasible[int(index)]
+                    age = age_of(candidate)
+                    if age < best_age:
+                        best = candidate
+                        best_age = age
+        else:
+            stats.scalar_probes += 1
+            best = None
+            best_total = None
+            best_age = None
+
+            def age_of(candidate: ProbeCandidate) -> float:
+                age = 0.0
+                for code, count in candidate.count_items:
+                    for job in pool(code)[0][:count]:
+                        age += job.arrival_time
+                return age
+
+            for candidate in feasible:
+                total_remaining = 0.0
+                for code, count, rate in candidate.srpt_items:
+                    total_remaining += pool(code)[1][count] / rate
+                if best_total is None or total_remaining < best_total:
+                    best = candidate
+                    best_total = total_remaining
+                    best_age = None
+                elif total_remaining == best_total:
+                    if best_age is None:
+                        best_age = age_of(best)
+                    age = age_of(candidate)
+                    if age < best_age:
+                        best = candidate
+                        best_age = age
+        chosen: list[Job] = []
+        for code, count in best.count_items:
+            chosen.extend(pool(code)[0][:count])
+        return chosen, best.codes_key
+
+    def pick_maxtp(
+        ms: _MState, n_jobs: int, flush_cache: dict | None
+    ) -> tuple[list[Job], tuple[int, ...]]:
+        machine = ms.machine
+        if n_jobs >= machine.contexts:
+            counts = ms.counts
+            n_counts = len(counts)
+            formable = []
+            for target in ms.maxtp_targets:
+                for code, count in target[1]:
+                    if code >= n_counts or counts[code] < count:
+                        break
+                else:
+                    formable.append(target)
+            if formable:
+                deficit = ms.deficit
+                fractions = machine.scheduler.target_fractions
+                best = max(
+                    formable,
+                    key=lambda pair: (
+                        deficit(pair[0]),
+                        fractions[pair[0]],
+                        pair[0],
+                    ),
+                )
+                by_code = machine.jobs.by_code
+                chosen: list[Job] = []
+                if ms.age_ok:
+                    for code, count in best[1]:
+                        chosen.extend(by_code[code][:count])
+                else:
+                    pools: dict[int, list[Job]] = {}
+                    for code, count in best[1]:
+                        chosen.extend(
+                            _sorted_pool(pools, by_code, code)[:count]
+                        )
+                return chosen, best[2]
+        return pick_maxit(ms, n_jobs, flush_cache)
+
+    def reschedule(
+        ms: _MState, clock: float, flush_cache: dict | None
+    ) -> None:
+        machine = ms.machine
+        jobs = machine.jobs
+        n_jobs = len(jobs)
+        stats.reschedules += 1
+        if n_jobs == 0:
+            running: list[Job] = []
+            codes_key: tuple[int, ...] = ()
+        else:
+            kind = ms.kind
+            if kind == "maxit":
+                running, codes_key = pick_maxit(ms, n_jobs, flush_cache)
+            elif kind == "srpt":
+                running, codes_key = pick_srpt(ms, n_jobs)
+            elif kind == "maxtp":
+                running, codes_key = pick_maxtp(ms, n_jobs, flush_cache)
+            elif kind == "fcfs":
+                contexts = machine.contexts
+                if ms.age_ok:
+                    running = jobs[:contexts]
+                else:
+                    running = sorted(jobs, key=_age_key)[:contexts]
+                codes_key = tuple(
+                    sorted(job.type_code for job in running)
+                )
+            else:
+                # Generic fallback: the scheduler's own select, with
+                # the legacy validation (a custom scheduler can
+                # misbehave; the specialized picks cannot).
+                scheduler = machine.scheduler
+                running = scheduler.select(jobs, clock)
+                if len(running) > scheduler.contexts:
+                    raise SimulationError(
+                        f"{scheduler.name} selected {len(running)} jobs "
+                        f"for {scheduler.contexts} contexts"
+                    )
+                ids = {job.job_id for job in running}
+                if len(ids) != len(running):
+                    raise SimulationError(
+                        f"{scheduler.name} selected a job twice"
+                    )
+                codes = []
+                for job in running:
+                    code = job.type_code
+                    if code is None:
+                        code = codec.encode(job.job_type)
+                        job.type_code = code
+                    codes.append(code)
+                codes.sort()
+                codes_key = tuple(codes)
+        if fuse and codes_key == ms.last_codes_key:
+            # Refill fusion: the departure was replaced by the same
+            # type multiset, so the coschedule entry (names, per-job
+            # rates, flat rate array) is unchanged — skip the memo.
+            stats.fused_entries += 1
+            rates_by_code = machine.rates_by_code
+        else:
+            entry = compiled_entry(codes_key)
+            machine.coschedule = entry.names
+            machine.job_rates = entry.per_job
+            rates_by_code = entry.rates_by_code
+            machine.rates_by_code = rates_by_code
+            ms.last_codes_key = codes_key
+        next_completion = _INF
+        for job in running:
+            rate = rates_by_code[job.type_code]
+            if rate <= 0.0:
+                raise SimulationError(
+                    f"job {job.job_id} ({job.job_type}) has zero rate "
+                    "in its coschedule"
+                )
+            remaining = job.remaining / rate
+            if remaining < next_completion:
+                next_completion = remaining
+        machine.running = running
+        machine.next_completion = next_completion
+        machine.dirty = False
+        machine.epoch += 1
+        if pick_log is not None:
+            pick_log.append(
+                (
+                    machine.machine_id,
+                    tuple(job.job_id for job in running),
+                )
+            )
+
+    def retire(ms: _MState, when: float) -> None:
+        nonlocal in_system, full_machines
+        machine = ms.machine
+        finished = [
+            job for job in machine.running if job.remaining <= 1e-12
+        ]
+        if finished:
+            was_full = (
+                keep_in_system is not None
+                and len(machine.jobs) >= keep_in_system
+            )
+            metrics = machine.metrics
+            counts = ms.counts
+            contexts = machine.contexts
+            for job in finished:
+                job.completion_time = when
+                if when >= warmup_time:
+                    metrics.observe_completion(when - job.arrival_time)
+                code = job.type_code
+                remaining_count = counts[code] - 1
+                counts[code] = remaining_count
+                if remaining_count < contexts:
+                    # The capped count for this type changed (or the
+                    # type drained) — the cached probe key is stale.
+                    ms.probe_cache = None
+            jobs = machine.jobs
+            if len(finished) == 1:
+                # Common case: one departure.  Identity-scan removal
+                # beats rebuilding the whole backlog list (and the
+                # dataclass __eq__ a plain ``list.remove`` would run).
+                job = finished[0]
+                for i, queued in enumerate(jobs):
+                    if queued is job:
+                        del jobs[i]
+                        break
+                pool = jobs.by_code[job.type_code]
+                for i, queued in enumerate(pool):
+                    if queued is job:
+                        del pool[i]
+                        break
+            else:
+                done_ids = {job.job_id for job in finished}
+                jobs.remove_ids(
+                    done_ids, {job.type_code for job in finished}
+                )
+            in_system -= len(finished)
+            if was_full and len(machine.jobs) < keep_in_system:
+                full_machines -= 1
+        if not machine.dirty:
+            machine.dirty = True
+            dirty_list.append(ms)
+
+    def admit(ms: _MState, job: Job) -> None:
+        nonlocal in_system, full_machines
+        machine = ms.machine
+        jobs = machine.jobs
+        if ms.age_ok and jobs:
+            last = jobs[-1]
+            if (job.arrival_time, job.job_id) < (
+                last.arrival_time,
+                last.job_id,
+            ):
+                ms.age_ok = False
+        machine.admit(job)
+        code = job.type_code
+        counts = ms.counts
+        while code >= len(counts):
+            counts.append(0)
+        grown_count = counts[code] + 1
+        counts[code] = grown_count
+        if grown_count <= machine.contexts:
+            # The capped count for this type grew — stale probe key.
+            ms.probe_cache = None
+        in_system += 1
+        if keep_in_system is not None and len(jobs) >= keep_in_system:
+            full_machines += 1
+        if not machine.dirty:
+            machine.dirty = True
+            dirty_list.append(ms)
+
+    def route(job: Job) -> int:
+        """Validated dispatch decision among machines with room."""
+        if keep_in_system is None:
+            eligible = all_ids
+        else:
+            eligible = [
+                i
+                for i in all_ids
+                if len(machines[i].jobs) < keep_in_system
+            ]
+        target = dispatcher.route(job, machines, eligible, clock)
+        if not 0 <= target < n_machines or (
+            keep_in_system is not None
+            and len(machines[target].jobs) >= keep_in_system
+        ):
+            raise SimulationError(
+                f"{dispatcher.name} routed to invalid machine {target}"
+            )
+        return target
+
+    def has_room(index: int) -> bool:
+        return (
+            keep_in_system is None
+            or len(machines[index].jobs) < keep_in_system
+        )
+
+    # ------------------------------------------------------------------
+    # The event loop proper (same event order as the legacy engine).
+    # ------------------------------------------------------------------
+    for _ in range(max_events):
+        stats.events += 1
+        while (
+            pending is not None
+            and pending.arrival_time <= clock + _EPSILON
+        ):
+            if routed is not None and has_room(routed):
+                target = routed
+            elif full_machines < n_machines:
+                target = route(pending)
+            else:
+                break
+            routed = None
+            if pending.arrival_time < last_arrival - _EPSILON:
+                raise SimulationError("arrivals out of order")
+            last_arrival = pending.arrival_time
+            ms = states[target]
+            sync(ms, clock, None)
+            admit(ms, pending)
+            pending = next(stream, None)
+
+        if stop_when_fewer_than is not None and pending is None:
+            if in_system < stop_when_fewer_than:
+                break
+        if in_system == 0 and pending is None:
+            break
+        if horizon is not None and clock >= horizon:
+            break
+
+        if dirty_list:
+            flush_cache = (
+                {} if batch and len(dirty_list) > 1 else None
+            )
+            if len(dirty_list) > 1:
+                stats.batch_rounds += 1
+                if len(dirty_list) > stats.max_batch:
+                    stats.max_batch = len(dirty_list)
+            for ms in dirty_list:
+                reschedule(ms, clock, flush_cache)
+                machine = ms.machine
+                if machine.running:
+                    heappush(
+                        heap,
+                        (
+                            machine.last_sync + machine.next_completion,
+                            machine.machine_id,
+                            machine.epoch,
+                        ),
+                    )
+            dirty_list = []
+
+        next_state: _MState | None = None
+        next_completion = _INF
+        while heap:
+            _, machine_id, epoch = heap[0]
+            machine = machines[machine_id]
+            if epoch != machine.epoch or not machine.running:
+                heappop(heap)
+                continue
+            next_state = states[machine_id]
+            next_completion = machine.next_completion + (
+                machine.last_sync - clock
+            )
+            break
+
+        can_admit = pending is not None and full_machines < n_machines
+        next_arrival = (
+            pending.arrival_time - clock if can_admit else _INF
+        )
+        dt = (
+            next_completion
+            if next_completion < next_arrival
+            else next_arrival
+        )
+        if horizon is not None:
+            clamp = horizon - clock
+            if clamp < dt:
+                dt = clamp
+        if dt == _INF:
+            raise SimulationError(
+                "no progress possible: idle with no arrivals"
+            )
+        if dt < 0.0:
+            dt = 0.0
+        new_clock = clock + dt
+
+        if next_state is not None and next_completion <= dt:
+            machine = next_state.machine
+            sync(
+                next_state,
+                new_clock,
+                dt if machine.last_sync == clock else None,
+            )
+            clock = new_clock
+            retire(next_state, clock)
+        elif can_admit and next_arrival <= dt:
+            if routed is None or not has_room(routed):
+                routed = route(pending)
+            target_state = states[routed]
+            machine = target_state.machine
+            sync(
+                target_state,
+                new_clock,
+                dt if machine.last_sync == clock else None,
+            )
+            clock = new_clock
+            retire(target_state, clock)
+        else:
+            for ms in states:
+                sync(
+                    ms,
+                    new_clock,
+                    dt if ms.machine.last_sync == clock else None,
+                )
+            clock = new_clock
+            for ms in states:
+                retire(ms, clock)
+    else:
+        raise SimulationError(
+            f"simulation exceeded {max_events} events without "
+            "terminating"
+        )
+
+    for ms in states:
+        sync(ms, clock, None)

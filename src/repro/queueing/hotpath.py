@@ -15,13 +15,17 @@ for both:
 * :func:`saturated_cluster` — the **saturated MAXIT/SRPT cluster**
   workload: a backlog-capped, saturated multi-machine run where every
   event triggers a full candidate probe (the paper's Section-VI
-  saturation setting, scaled up);
+  saturation setting, scaled up); the ``_wide`` variant deepens the
+  backlog and widens the machines (6 contexts, 40 queued jobs) so the
+  candidate space is large enough for the compiled engine's count-
+  vector probing to show its full separation — it is the headline
+  workload for perf-trajectory point 1;
 * :func:`scenario_run` — the **scenario-sweep** workload: bursty MMPP
   traffic through MAXTP machines behind the LP-affinity dispatcher,
   exercising long non-saturated queues and the dispatch layer;
-* :func:`measure` — best-of-N wall-clock of one workload on either
-  the compiled fast path or the legacy string path (the before/after
-  axis of ``tools/profile_hotpaths.py`` and ``BENCH_CORE.json``).
+* :func:`measure` — best-of-N wall-clock of one workload on any of
+  the three engines (``legacy``, ``fast``, ``compiled`` — the axes of
+  ``tools/profile_hotpaths.py`` and ``BENCH_CORE.json``).
 
 ``benchmarks/bench_hotpath.py`` wraps these in pytest-benchmark and
 checks the committed ``BENCH_CORE.json`` trajectory; CI's perf-smoke
@@ -97,6 +101,17 @@ def saturated_jobs(
     ]
 
 
+def _run_stats(cluster: Cluster) -> dict[str, object] | None:
+    """Memo stats of the last run, with the compiled engine's own
+    counters (fusion, batching, vectorization) nested under
+    ``"engine"`` when that engine ran."""
+    stats = cluster.last_memo_stats
+    if cluster.last_engine_stats is not None:
+        stats = dict(stats or {})
+        stats["engine"] = cluster.last_engine_stats
+    return stats
+
+
 def saturated_cluster(
     scheduler: str = "maxit",
     *,
@@ -105,6 +120,8 @@ def saturated_cluster(
     contexts: int = 4,
     backlog: int = 10,
     fast_path: bool = True,
+    engine: str | None = None,
+    backend: str | None = None,
 ) -> tuple[ClusterMetrics, dict[str, object] | None]:
     """The saturated probing workload (every event probes candidates).
 
@@ -125,8 +142,10 @@ def saturated_cluster(
         stop_when_fewer_than=n_machines * contexts,
         keep_in_system=backlog,
         fast_path=fast_path,
+        engine=engine,
+        backend=backend,
     )
-    return metrics, cluster.last_memo_stats
+    return metrics, _run_stats(cluster)
 
 
 def scenario_run(
@@ -137,6 +156,8 @@ def scenario_run(
     scenario: str = "bursty_mmpp",
     mean_rate: float = 6.0,
     fast_path: bool = True,
+    engine: str | None = None,
+    backend: str | None = None,
 ) -> tuple[ClusterMetrics, dict[str, object] | None]:
     """The scenario-sweep workload: bursty MAXTP + affinity dispatch.
 
@@ -161,34 +182,47 @@ def scenario_run(
             "affinity", rates=rates, workload=workload, contexts=contexts
         ),
     )
-    metrics = cluster.run(jobs, fast_path=fast_path)
-    return metrics, cluster.last_memo_stats
+    metrics = cluster.run(
+        jobs, fast_path=fast_path, engine=engine, backend=backend
+    )
+    return metrics, _run_stats(cluster)
 
 
-#: name -> zero-argument-but-for-fast_path workload runner; the keys
-#: are the benchmark ids committed in BENCH_CORE.json.
+#: name -> workload runner taking engine-selection kwargs only
+#: (``fast_path``/``engine``/``backend``); the keys are the benchmark
+#: ids committed in BENCH_CORE.json.
 HOTPATH_WORKLOADS: dict[str, Callable[..., tuple[ClusterMetrics, dict | None]]] = {
-    "saturated_maxit_cluster": lambda fast_path=True: saturated_cluster(
-        "maxit", fast_path=fast_path
+    "saturated_maxit_cluster": lambda **engine_kw: saturated_cluster(
+        "maxit", **engine_kw
     ),
-    "saturated_srpt_cluster": lambda fast_path=True: saturated_cluster(
-        "srpt", fast_path=fast_path
+    "saturated_srpt_cluster": lambda **engine_kw: saturated_cluster(
+        "srpt", **engine_kw
     ),
-    "scenario_sweep_maxtp_affinity": lambda fast_path=True: scenario_run(
-        fast_path=fast_path
+    "saturated_maxit_wide": lambda **engine_kw: saturated_cluster(
+        "maxit", contexts=6, backlog=40, **engine_kw
+    ),
+    "scenario_sweep_maxtp_affinity": lambda **engine_kw: scenario_run(
+        **engine_kw
     ),
 }
 
 
 def measure(
-    workload: str, *, fast_path: bool = True, repeats: int = 3
+    workload: str,
+    *,
+    fast_path: bool = True,
+    engine: str | None = None,
+    backend: str | None = None,
+    repeats: int = 3,
 ) -> dict[str, object]:
     """Best-of-``repeats`` wall-clock seconds of one named workload.
 
-    Also returns the run's completion count (a cheap integrity check:
-    both paths must do identical work) and the memo stats of the last
-    repeat (cache efficacy; empty on the legacy path's non-compiled
-    layers).
+    ``engine`` overrides the legacy ``fast_path`` switch when given
+    (``"legacy"``/``"fast"``/``"compiled"``), exactly as in
+    :meth:`Cluster.run`.  Also returns the run's completion count (a
+    cheap integrity check: all engines must do identical work) and the
+    memo/engine stats of the last repeat (cache efficacy; empty on the
+    legacy path's non-compiled layers).
     """
     runner = HOTPATH_WORKLOADS[workload]
     best = float("inf")
@@ -196,7 +230,9 @@ def measure(
     stats: dict[str, object] | None = None
     for _ in range(repeats):
         start = time.perf_counter()
-        metrics, stats = runner(fast_path=fast_path)
+        metrics, stats = runner(
+            fast_path=fast_path, engine=engine, backend=backend
+        )
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         completed = metrics.completed

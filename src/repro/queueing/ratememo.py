@@ -45,6 +45,11 @@ from repro.microarch.rate_cache import CacheStats
 from repro.microarch.rates import RateSource
 from repro.util.multiset import sub_multisets
 
+try:  # pragma: no cover - integer filtering only; python fallback below
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
 __all__ = ["RunRateMemo", "ProbeCandidate", "CandidateSet"]
 
 
@@ -102,9 +107,20 @@ class ProbeCandidate:
         srpt_items: ``count_items`` zipped with ``per_job_rates``
             (``(type_id, count, rate)`` triples) — SRPT's inner loop,
             pre-zipped so the hot path allocates nothing.
+        codes_key: the sorted flat code tuple of this multiset — the
+            :meth:`RunRateMemo.compiled_entry` key, precomputed so the
+            compiled engine's reschedule is a dict hit with no
+            per-event sorting.
     """
 
-    __slots__ = ("names", "count_items", "it", "per_job_rates", "srpt_items")
+    __slots__ = (
+        "names",
+        "count_items",
+        "it",
+        "per_job_rates",
+        "srpt_items",
+        "codes_key",
+    )
 
     def __init__(
         self,
@@ -121,6 +137,13 @@ class ProbeCandidate:
             (code, count, rate)
             for (code, count), rate in zip(count_items, per_job_rates)
         )
+        self.codes_key = tuple(
+            sorted(
+                code
+                for code, count in count_items
+                for _ in range(count)
+            )
+        )
 
 
 class CandidateSet:
@@ -135,11 +158,33 @@ class CandidateSet:
         feasible: candidates with strictly positive per-job rates for
             every type (SRPT skips the rest, every time, because rates
             depend only on the multiset).
+        key_codes: the distinct type ids of the probe key this set was
+            built for, in key (ascending-id) order — the row order of
+            the compiled engine's per-decision prefix matrices.
+        srpt_np: lazily attached numpy scoring arrays for the compiled
+            engine's vectorized SRPT backend (``None`` until built by
+            :mod:`repro.queueing.compiled`; pure-tuple backends never
+            touch it).
+        filter_np: lazily attached per-candidate count matrix (one row
+            per candidate, one column per ``key_codes`` entry) used by
+            :meth:`RunRateMemo.probe_filtered` to select the formable
+            candidates of a count vector in one vectorized comparison.
     """
 
-    __slots__ = ("candidates", "max_it_group", "feasible")
+    __slots__ = (
+        "candidates",
+        "max_it_group",
+        "feasible",
+        "key_codes",
+        "srpt_np",
+        "filter_np",
+    )
 
-    def __init__(self, candidates: list[ProbeCandidate]) -> None:
+    def __init__(
+        self,
+        candidates: list[ProbeCandidate],
+        key_codes: tuple[int, ...] = (),
+    ) -> None:
         self.candidates = candidates
         best_it = max(c.it for c in candidates) if candidates else 0.0
         self.max_it_group = [c for c in candidates if c.it == best_it]
@@ -148,6 +193,9 @@ class CandidateSet:
             for c in candidates
             if all(rate > 0.0 for rate in c.per_job_rates)
         ]
+        self.key_codes = key_codes
+        self.srpt_np = None
+        self.filter_np = None
 
 
 class RunRateMemo:
@@ -282,9 +330,93 @@ class RunRateMemo:
                         names, count_items, sum(entry.values()), per_job_rates
                     )
                 )
-            cached = CandidateSet(candidates)
+            cached = CandidateSet(
+                candidates, tuple(code for code, _ in counts_key)
+            )
             self._probes[key] = cached
         else:
+            self.stats.hits += 1
+        return cached
+
+    def probe_filtered(
+        self, counts_key: tuple[tuple[int, int], ...], size: int
+    ) -> CandidateSet:
+        """Compiled-engine probe builder: derive a (pre-capped) count
+        vector's candidate set by *filtering the full-cap universe* of
+        its present types instead of re-enumerating multisets.
+
+        The universe — every multiset of ``size`` over the key's
+        present types, i.e. the candidate set of the all-types-at-cap
+        count vector — is built once through the legacy enumeration
+        (so candidate order and floats are exactly the string path's)
+        and then any capped count vector over the same types selects
+        the candidates it can form with one count comparison each,
+        **sharing** the universe's :class:`ProbeCandidate` objects.
+        Both enumerations are name-sorted, so filtering the sorted
+        universe yields the legacy order of the filtered set; the
+        result is cached in the same probe table the legacy builder
+        fills, making the two builders interchangeable entry by entry.
+        """
+        key = (counts_key, size)
+        cached = self._probes.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        codes = tuple(code for code, _ in counts_key)
+        cap_key = tuple((code, size) for code in codes)
+        if cap_key == counts_key:
+            # The key is its own universe — legacy build (which also
+            # does the cache accounting for this miss).
+            return self.probe_candidates(counts_key, size)
+        universe = self.probe_candidates(cap_key, size)
+        self.stats.misses += 1
+        if _np is not None:
+            # Vectorized formability test: one row of per-type counts
+            # per universe candidate (built once per universe, integer
+            # comparisons only — no float arithmetic to keep identical),
+            # masked against this key's availability vector.
+            matrix = universe.filter_np
+            if matrix is None:
+                matrix = _np.zeros(
+                    (len(universe.candidates), len(codes)), dtype=_np.int64
+                )
+                column = {code: i for i, code in enumerate(codes)}
+                for row, candidate in enumerate(universe.candidates):
+                    for code, count in candidate.count_items:
+                        matrix[row, column[code]] = count
+                universe.filter_np = matrix
+            avail_vec = _np.array(
+                [count for _, count in counts_key], dtype=_np.int64
+            )
+            keep = _np.flatnonzero((matrix <= avail_vec).all(axis=1))
+            pool = universe.candidates
+            candidates = [pool[i] for i in keep]
+        else:
+            avail = dict(counts_key)
+            get = avail.get
+            candidates = [
+                candidate
+                for candidate in universe.candidates
+                if all(
+                    count <= get(code, 0)
+                    for code, count in candidate.count_items
+                )
+            ]
+        cached = CandidateSet(candidates, codes)
+        self._probes[key] = cached
+        return cached
+
+    def probe_cached(
+        self, counts_key: tuple[tuple[int, int], ...], size: int
+    ) -> CandidateSet | None:
+        """Direct probe lookup for a key the caller has *already
+        capped* at ``size`` (the compiled engine builds capped keys
+        from its count vectors, so the normalization pass in
+        :meth:`probe_candidates` would be a per-event no-op).  Returns
+        ``None`` on a miss — the caller then takes the building path.
+        """
+        cached = self._probes.get((counts_key, size))
+        if cached is not None:
             self.stats.hits += 1
         return cached
 

@@ -12,7 +12,16 @@ it.  Two locks per pair:
 * **engine lock** — running the *committed* trace through the cluster
   simulator must reproduce the committed metrics (any drift in the
   event loop, schedulers, or dispatch policies fails here, with a
-  per-field diff naming exactly what moved).
+  per-field diff naming exactly what moved).  The lock is parametrized
+  over engines: every committed trace replays through both the fast
+  path and the count-vector compiled engine (``engine="compiled"``)
+  against the *same* expectation file — bit-identity across engines is
+  part of the contract, not a separate suite.
+
+Two extra goldens (``hotpath_saturated_{maxit,srpt}.json``) pin the
+saturated hotpath benchmark workloads at reduced size on their own
+frozen synthetic rate table, so the perf-trajectory workloads have
+regression coverage independent of wall-clock gates.
 
 The runs use a frozen synthetic rate table defined below, NOT the
 microarch model — the harness pins the queueing/dispatch stack in
@@ -43,6 +52,7 @@ from repro.experiments.registry import to_jsonable
 from repro.microarch.rates import TableRates
 from repro.queueing.cluster import ClusterMetrics, run_cluster
 from repro.queueing.dispatch import make_dispatcher
+from repro.queueing.hotpath import saturated_jobs, synthetic_rates
 from repro.queueing.job import Job
 from repro.queueing.scenarios import get_scenario, scenario_names
 from repro.queueing.schedulers import make_scheduler
@@ -82,6 +92,9 @@ PAIRS = [
     for scenario in scenario_names()
     for dispatcher in DISPATCHERS
 ]
+#: Engines the committed expectations are replayed through — every
+#: golden passes unchanged on both (bit-identity across engines).
+ENGINES = ("fast", "compiled")
 
 
 def golden_path(scenario: str, dispatcher: str) -> Path:
@@ -111,7 +124,10 @@ def build_golden_stream(scenario_name: str, mean_rate: float) -> list[Job]:
 
 
 def run_golden_trace(
-    jobs: list[Job], scenario_name: str, dispatcher: str
+    jobs: list[Job],
+    scenario_name: str,
+    dispatcher: str,
+    engine: str | None = None,
 ) -> ClusterMetrics:
     """The frozen run configuration every golden file was made with."""
     scenario = get_scenario(scenario_name)
@@ -140,6 +156,7 @@ def run_golden_trace(
         keep_in_system=(
             scenario.backlog_per_machine if scenario.saturated else None
         ),
+        engine=engine,
     )
 
 
@@ -212,12 +229,32 @@ def update_golden(request) -> bool:
 
 
 class TestGoldenTraces:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize(
         "scenario, dispatcher", PAIRS, ids=[f"{s}-{d}" for s, d in PAIRS]
     )
-    def test_pair(self, scenario, dispatcher, update_golden):
+    def test_pair(self, scenario, dispatcher, engine, update_golden):
         path = golden_path(scenario, dispatcher)
         if update_golden:
+            if engine != ENGINES[0]:
+                # The expectation file is engine-independent (written
+                # once, by the first engine's variant); the other
+                # engines verify agreement before the fresh goldens
+                # are committed, with no file-ordering dependency.
+                mean_rate = golden_mean_rate(scenario)
+                reference = run_golden_trace(
+                    build_golden_stream(scenario, mean_rate),
+                    scenario,
+                    dispatcher,
+                )
+                metrics = run_golden_trace(
+                    build_golden_stream(scenario, mean_rate),
+                    scenario,
+                    dispatcher,
+                    engine=engine,
+                )
+                assert to_jsonable(metrics) == to_jsonable(reference)
+                return
             payload = regenerate(scenario, dispatcher)
             path.parent.mkdir(parents=True, exist_ok=True)
             with path.open("w") as fp:
@@ -232,32 +269,161 @@ class TestGoldenTraces:
             )
         golden = json.loads(path.read_text())
 
-        # Generator lock: the scenario must rebuild the committed
-        # trace bit for bit from its pinned seed and rate.
-        rebuilt = trace_from_jobs(
-            build_golden_stream(scenario, float(golden["mean_rate"])),
-            metadata=golden["trace"]["metadata"],
+        if engine == ENGINES[0]:
+            # Generator lock: the scenario must rebuild the committed
+            # trace bit for bit from its pinned seed and rate (checked
+            # once — the stream does not depend on the engine).
+            rebuilt = trace_from_jobs(
+                build_golden_stream(scenario, float(golden["mean_rate"])),
+                metadata=golden["trace"]["metadata"],
+            )
+            drift = diff_payload(golden["trace"], rebuilt)
+            if drift:
+                pytest.fail(
+                    f"[{path.name}] arrival-process drift — the generator "
+                    "no longer reproduces the committed trace:\n"
+                    + "\n".join(drift[:20])
+                    + "\n(run --update-golden only if this drift is "
+                    "intentional)"
+                )
+
+        # Engine lock: the committed trace must reproduce the
+        # committed metrics through the cluster simulator, whichever
+        # engine advances it.
+        metrics = run_golden_trace(
+            jobs_from_trace(golden["trace"]), scenario, dispatcher,
+            engine=engine,
         )
-        drift = diff_payload(golden["trace"], rebuilt)
+        drift = diff_payload(golden["expected"], to_jsonable(metrics))
         if drift:
             pytest.fail(
-                f"[{path.name}] arrival-process drift — the generator "
-                "no longer reproduces the committed trace:\n"
+                f"[{path.name}] engine drift — the {engine} engine "
+                "no longer reproduces the committed metrics:\n"
                 + "\n".join(drift[:20])
                 + "\n(run --update-golden only if this drift is "
                 "intentional)"
             )
 
-        # Engine lock: the committed trace must reproduce the
-        # committed metrics through the cluster simulator.
-        metrics = run_golden_trace(
-            jobs_from_trace(golden["trace"]), scenario, dispatcher
+
+# ----------------------------------------------------------------------
+# Hotpath saturated-workload goldens (perf-trajectory coverage).
+# ----------------------------------------------------------------------
+#: Reduced-size frozen replica of ``hotpath.saturated_cluster``: same
+#: synthetic rate table (5 types, 4 contexts, seed 7), same backlog
+#: cap and stop rule, fewer jobs — enough events to pin the probing
+#: stack, small enough to stay a unit-speed test.
+HOTPATH_GOLDEN_SCHEDULERS = ("maxit", "srpt")
+HOTPATH_GOLDEN_JOBS = 300
+HOTPATH_GOLDEN_MACHINES = 3
+HOTPATH_GOLDEN_CONTEXTS = 4
+HOTPATH_GOLDEN_BACKLOG = 10
+HOTPATH_GOLDEN_SEED = 0
+
+
+def hotpath_golden_path(scheduler: str) -> Path:
+    return GOLDEN_DIR / f"hotpath_saturated_{scheduler}.json"
+
+
+def build_hotpath_stream() -> list[Job]:
+    _, names = synthetic_rates(contexts=HOTPATH_GOLDEN_CONTEXTS)
+    return saturated_jobs(
+        names, HOTPATH_GOLDEN_JOBS, seed=HOTPATH_GOLDEN_SEED
+    )
+
+
+def run_hotpath_golden(
+    jobs: list[Job], scheduler: str, engine: str | None = None
+) -> ClusterMetrics:
+    rates, names = synthetic_rates(contexts=HOTPATH_GOLDEN_CONTEXTS)
+    workload = Workload.of(*names)
+    return run_cluster(
+        rates,
+        [
+            make_scheduler(
+                scheduler, rates, HOTPATH_GOLDEN_CONTEXTS,
+                workload=workload,
+            )
+            for _ in range(HOTPATH_GOLDEN_MACHINES)
+        ],
+        make_dispatcher("round_robin"),
+        jobs,
+        stop_when_fewer_than=(
+            HOTPATH_GOLDEN_MACHINES * HOTPATH_GOLDEN_CONTEXTS
+        ),
+        keep_in_system=HOTPATH_GOLDEN_BACKLOG,
+        engine=engine,
+    )
+
+
+class TestHotpathGoldens:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("scheduler", HOTPATH_GOLDEN_SCHEDULERS)
+    def test_hotpath_workload(self, scheduler, engine, update_golden):
+        path = hotpath_golden_path(scheduler)
+        if update_golden:
+            if engine != ENGINES[0]:
+                reference = run_hotpath_golden(
+                    build_hotpath_stream(), scheduler
+                )
+                metrics = run_hotpath_golden(
+                    build_hotpath_stream(), scheduler, engine=engine
+                )
+                assert to_jsonable(metrics) == to_jsonable(reference)
+                return
+            jobs = build_hotpath_stream()
+            trace = trace_from_jobs(
+                jobs,
+                metadata={
+                    "workload": f"hotpath_saturated_{scheduler}",
+                    "seed": HOTPATH_GOLDEN_SEED,
+                },
+            )
+            metrics = run_hotpath_golden(
+                jobs_from_trace(json.loads(json.dumps(trace))), scheduler
+            )
+            payload = {
+                "scheduler": scheduler,
+                "n_machines": HOTPATH_GOLDEN_MACHINES,
+                "contexts": HOTPATH_GOLDEN_CONTEXTS,
+                "backlog": HOTPATH_GOLDEN_BACKLOG,
+                "seed": HOTPATH_GOLDEN_SEED,
+                "trace": trace,
+                "expected": to_jsonable(metrics),
+            }
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden file {path.name}; run "
+                "`python -m pytest tests/integration/test_golden_traces.py "
+                "--update-golden` and commit the result"
+            )
+        golden = json.loads(path.read_text())
+
+        if engine == ENGINES[0]:
+            rebuilt = trace_from_jobs(
+                build_hotpath_stream(),
+                metadata=golden["trace"]["metadata"],
+            )
+            drift = diff_payload(golden["trace"], rebuilt)
+            if drift:
+                pytest.fail(
+                    f"[{path.name}] workload drift — the hotpath "
+                    "generator no longer reproduces the committed "
+                    "trace:\n" + "\n".join(drift[:20])
+                )
+
+        metrics = run_hotpath_golden(
+            jobs_from_trace(golden["trace"]), scheduler, engine=engine
         )
         drift = diff_payload(golden["expected"], to_jsonable(metrics))
         if drift:
             pytest.fail(
-                f"[{path.name}] engine drift — the cluster simulator "
-                "no longer reproduces the committed metrics:\n"
+                f"[{path.name}] engine drift — the {engine} engine no "
+                "longer reproduces the committed metrics:\n"
                 + "\n".join(drift[:20])
                 + "\n(run --update-golden only if this drift is "
                 "intentional)"

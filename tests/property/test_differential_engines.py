@@ -1,0 +1,148 @@
+"""Three-way differential fuzz harness: legacy vs fast vs compiled.
+
+This is the equivalence contract that makes engine rewrites cheap to
+attempt and hard to get wrong: a seeded fuzzer draws random cluster
+configurations — scenario, dispatcher, scheduler, machine count,
+contexts, horizon/warmup/backlog knobs, and the arrival stream's seed
+— runs each through **all engine variants** (the legacy string path,
+the interned-type fast path, and the count-vector compiled engine on
+both scoring backends), and asserts
+
+* **bit-identical ClusterMetrics** — every float of every per-machine
+  metric, compared through ``to_jsonable`` (exact equality, including
+  the per-coschedule time-split dict keys); and
+* **identical scheduler pick sequences** — each engine logs every
+  scheduling decision as ``(machine_id, picked job ids in order)``;
+  the logs must match element for element.  Order matters: the engine
+  accumulates stepped work in running-set order, so a permuted pick
+  that happened to finish the same jobs would still drift the floats.
+
+Hypothesis drives the generation, so a failing draw **shrinks to a
+minimal reproducing configuration** (fewest jobs, smallest cluster,
+simplest knobs) and replays deterministically from the printed
+blob/seed.  Locally the harness runs ``REPRO_DIFF_FUZZ_EXAMPLES``
+configs (default 200 — the PR-6 acceptance budget); CI's required
+``differential-fuzz`` job bounds the budget to stay ~30s.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.workload import Workload
+from repro.experiments.registry import to_jsonable
+from repro.queueing.cluster import Cluster
+from repro.queueing.dispatch import make_dispatcher
+from repro.queueing.hotpath import synthetic_rates
+from repro.queueing.scenarios import get_scenario
+from repro.queueing.schedulers import make_scheduler
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_DIFF_FUZZ_EXAMPLES", "200"))
+
+#: engine variants under differential test: (label, engine, backend).
+ENGINE_VARIANTS = (
+    ("legacy", "legacy", None),
+    ("fast", "fast", None),
+    ("compiled-tuples", "compiled", "tuples"),
+    ("compiled-numpy", "compiled", "numpy"),
+)
+
+SCENARIOS = (
+    "baseline_poisson",
+    "bursty_mmpp",
+    "heavy_tail",
+    "diurnal_cycle",
+    "mice_elephants",
+    "batch_storms",
+    "skewed_types",
+    "saturated_backlog",
+)
+
+configs = st.fixed_dictionaries(
+    {
+        "scenario": st.sampled_from(SCENARIOS),
+        "scheduler": st.sampled_from(
+            ("fcfs", "maxit", "srpt", "maxtp", "ljf", "random")
+        ),
+        "dispatcher": st.sampled_from(("round_robin", "jsq", "affinity")),
+        "n_machines": st.integers(min_value=1, max_value=3),
+        "contexts": st.integers(min_value=2, max_value=4),
+        "n_types": st.integers(min_value=3, max_value=5),
+        "n_jobs": st.integers(min_value=1, max_value=60),
+        "mean_rate": st.floats(min_value=0.5, max_value=8.0),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "knobs": st.sampled_from(
+            (
+                {},
+                {"warmup_time": 2.0},
+                {"horizon": 6.0},
+                {"horizon": 25.0, "warmup_time": 1.0},
+                {"keep_in_system": 3, "stop_when_fewer_than": 2},
+                {"keep_in_system": 8, "stop_when_fewer_than": 4},
+            )
+        ),
+    }
+)
+
+
+def run_config(config, engine, backend):
+    """One full cluster run; returns (metrics payload, pick log)."""
+    contexts = config["contexts"]
+    rates, names = synthetic_rates(
+        n_types=config["n_types"], contexts=contexts
+    )
+    workload = Workload.of(*names)
+    jobs = list(
+        get_scenario(config["scenario"]).build_jobs(
+            names,
+            mean_rate=config["mean_rate"],
+            seed=config["seed"],
+            n_jobs=config["n_jobs"],
+        )
+    )
+    dispatcher_kw = {}
+    if config["dispatcher"] == "affinity":
+        dispatcher_kw = dict(
+            rates=rates, workload=workload, contexts=contexts
+        )
+    cluster = Cluster(
+        rates,
+        [
+            make_scheduler(
+                config["scheduler"], rates, contexts, workload=workload
+            )
+            for _ in range(config["n_machines"])
+        ],
+        make_dispatcher(config["dispatcher"], **dispatcher_kw),
+    )
+    picks: list[tuple[int, tuple[int, ...]]] = []
+    metrics = cluster.run(
+        jobs,
+        engine=engine,
+        backend=backend,
+        pick_log=picks,
+        **config["knobs"],
+    )
+    return to_jsonable(metrics), picks
+
+
+class TestDifferentialEngines:
+    @given(configs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_engines_bit_identical(self, config):
+        reference_label, engine, backend = ENGINE_VARIANTS[0]
+        reference_metrics, reference_picks = run_config(
+            config, engine, backend
+        )
+        for label, engine, backend in ENGINE_VARIANTS[1:]:
+            metrics, picks = run_config(config, engine, backend)
+            assert metrics == reference_metrics, (
+                f"{label} metrics diverge from {reference_label} "
+                f"on {config}"
+            )
+            assert picks == reference_picks, (
+                f"{label} pick sequence diverges from {reference_label} "
+                f"on {config}"
+            )

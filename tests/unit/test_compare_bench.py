@@ -1,0 +1,162 @@
+"""Unit tests for the CI perf-smoke gate (``tools/compare_bench.py``).
+
+The gate is the last line of defense for the committed perf
+trajectory, so its *failure modes* are part of its contract: a
+half-landed change (new benchmark without a refreshed baseline, or a
+baseline file with no usable trajectory point) must produce a clear
+one-line diagnostic — never a bare ``KeyError``/``IndexError`` that
+reads like the gate itself is broken.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+import compare_bench  # noqa: E402
+
+
+def write_results(path: Path, workloads: dict[str, dict[str, float]]):
+    """A minimal pytest-benchmark JSON with the gate's naming scheme."""
+    benches = []
+    for workload, modes in workloads.items():
+        for mode, seconds in modes.items():
+            prefix = {
+                "fast": "test_hotpath",
+                "legacy": "test_hotpath_legacy",
+                "compiled": "test_hotpath_compiled",
+            }[mode]
+            benches.append(
+                {
+                    "name": f"{prefix}[{workload}]",
+                    "stats": {"min": seconds},
+                }
+            )
+    path.write_text(json.dumps({"benchmarks": benches}))
+
+
+def write_baseline(path: Path, trajectory: list[dict]):
+    path.write_text(json.dumps({"version": 1, "trajectory": trajectory}))
+
+
+BASELINE_POINT = {
+    "point": 1,
+    "benchmarks": {
+        "saturated_demo": {
+            "legacy_s": 1.0,
+            "fast_s": 0.25,
+            "compiled_s": 0.1,
+            "completed": 100,
+        }
+    },
+}
+
+
+def test_matching_results_pass(tmp_path):
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    write_results(
+        results,
+        {"saturated_demo": {"legacy": 1.0, "fast": 0.25, "compiled": 0.1}},
+    )
+    write_baseline(baseline, [BASELINE_POINT])
+    assert compare_bench.main([str(results), str(baseline)]) == 0
+
+
+def test_empty_trajectory_fails_with_clear_message(tmp_path):
+    """An empty trajectory must exit with a diagnostic, not IndexError."""
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    write_results(results, {"saturated_demo": {"fast": 0.25}})
+    write_baseline(baseline, [])
+    with pytest.raises(SystemExit) as excinfo:
+        compare_bench.main([str(results), str(baseline)])
+    assert "empty trajectory" in str(excinfo.value)
+
+
+def test_pointless_trajectory_fails_with_clear_message(tmp_path):
+    """A trajectory point with no benchmarks must not KeyError."""
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    write_results(results, {"saturated_demo": {"fast": 0.25}})
+    write_baseline(baseline, [{"point": 0}])
+    with pytest.raises(SystemExit) as excinfo:
+        compare_bench.main([str(results), str(baseline)])
+    assert "records no benchmarks" in str(excinfo.value)
+
+
+def test_unknown_benchmark_name_fails_with_clear_message(tmp_path, capsys):
+    """A measured workload the trajectory has never seen is a
+    half-landed change — named explicitly, not silently skipped."""
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    write_results(
+        results,
+        {
+            "saturated_demo": {"legacy": 1.0, "fast": 0.25, "compiled": 0.1},
+            "brand_new_workload": {"fast": 0.5},
+        },
+    )
+    write_baseline(baseline, [BASELINE_POINT])
+    assert compare_bench.main([str(results), str(baseline)]) == 1
+    err = capsys.readouterr().err
+    assert "brand_new_workload" in err
+    assert "missing from the committed trajectory" in err
+
+
+def test_workload_missing_from_results_fails(tmp_path, capsys):
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    write_results(results, {})
+    write_baseline(baseline, [BASELINE_POINT])
+    assert compare_bench.main([str(results), str(baseline)]) == 1
+    assert "missing from results" in capsys.readouterr().err
+
+
+def test_compiled_regression_fails(tmp_path, capsys):
+    """Perf point 1 is gated: compiled time over tolerance x baseline
+    fails even when the fast path is healthy."""
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    write_results(
+        results,
+        {"saturated_demo": {"legacy": 1.0, "fast": 0.25, "compiled": 0.5}},
+    )
+    write_baseline(baseline, [BASELINE_POINT])
+    assert (
+        compare_bench.main(
+            [str(results), str(baseline), "--tolerance", "2.0"]
+        )
+        == 1
+    )
+    assert "saturated_demo" in capsys.readouterr().err
+
+
+def test_missing_compiled_measurement_fails(tmp_path, capsys):
+    """A baseline with compiled_s requires a compiled measurement."""
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    write_results(
+        results, {"saturated_demo": {"legacy": 1.0, "fast": 0.25}}
+    )
+    write_baseline(baseline, [BASELINE_POINT])
+    assert compare_bench.main([str(results), str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "compiled MISSING from results" in out
+
+
+def test_baseline_entry_without_fast_s_fails(tmp_path, capsys):
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    write_results(results, {"saturated_demo": {"fast": 0.25}})
+    write_baseline(
+        baseline,
+        [{"point": 0, "benchmarks": {"saturated_demo": {"completed": 1}}}],
+    )
+    assert compare_bench.main([str(results), str(baseline)]) == 1
+    assert "no fast_s" in capsys.readouterr().err

@@ -3,7 +3,7 @@
 
 Reads a pytest-benchmark ``--benchmark-json`` results file (from
 ``benchmarks/bench_hotpath.py``) and the committed ``BENCH_CORE.json``
-trajectory, and applies two checks per workload:
+trajectory, and applies three checks per workload:
 
 * **speedup** — the fresh, same-machine legacy-path vs fast-path ratio
   (both measured in this run) must stay above ``--min-speedup``.  This
@@ -14,6 +14,10 @@ trajectory, and applies two checks per workload:
   at 1 and capped at ``--max-machine-factor``), so a runner that is
   uniformly slower than the baseline machine does not fail spuriously
   while a genuine fast-path regression still does.
+* **compiled** (perf point 1) — when the baseline records a
+  ``compiled_s`` for the workload, the fresh compiled-engine time must
+  stay under the same ``--tolerance`` times that baseline, scaled by
+  the same machine factor.
 
 The factor cap bounds the gate's blind spot for regressions to
 *shared* event-core code (which slow both paths and inflate the
@@ -21,13 +25,12 @@ factor with them): legacy drift beyond ``tolerance`` prints a loud
 warning, and drift beyond ``tolerance * max_machine_factor`` is a
 hard failure.  Without pinned CI hardware the window between those
 two is irreducible — absolute timing cannot distinguish "uniformly
-slower machine" from "uniformly slower code" — but fast-path-specific
-regressions are caught at any machine speed by the budget check and
+slower machine" from "uniformly slower code" — but path-specific
+regressions are caught at any machine speed by the budget checks and
 the speedup floor.
 
 Both tolerances are deliberately generous: only a wholesale regression
-— the kind the interned-type fast path exists to prevent — should
-trip them.
+— the kind the engine rewrites exist to prevent — should trip them.
 
 Usage::
 
@@ -44,17 +47,48 @@ from pathlib import Path
 
 
 def parse_results(path: Path) -> dict[str, dict[str, float]]:
-    """``{workload: {"fast": min_s, "legacy": min_s}}`` from the
-    pytest-benchmark JSON (legacy entries optional)."""
+    """``{workload: {"fast"|"legacy"|"compiled": min_s}}`` from the
+    pytest-benchmark JSON (legacy/compiled entries optional)."""
     out: dict[str, dict[str, float]] = {}
     for bench in json.loads(path.read_text()).get("benchmarks", []):
         name = bench.get("name", "")
         if "[" not in name or not name.endswith("]"):
             continue
         workload = name[name.index("[") + 1 : -1]
-        mode = "legacy" if "legacy" in name.split("[")[0] else "fast"
+        prefix = name.split("[")[0]
+        if "legacy" in prefix:
+            mode = "legacy"
+        elif "compiled" in prefix:
+            mode = "compiled"
+        else:
+            mode = "fast"
         out.setdefault(workload, {})[mode] = bench["stats"]["min"]
     return out
+
+
+def latest_benchmarks(baseline_path: Path) -> dict[str, dict]:
+    """The most recent trajectory point's per-workload baselines, with
+    a clear diagnostic (not a KeyError/IndexError) when the committed
+    file has no usable point."""
+    try:
+        payload = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read baseline {baseline_path}: {exc}")
+    trajectory = payload.get("trajectory") or []
+    if not trajectory:
+        raise SystemExit(
+            f"baseline {baseline_path} has an empty trajectory — "
+            "nothing to compare; refresh it with "
+            "tools/profile_hotpaths.py --json"
+        )
+    benchmarks = trajectory[-1].get("benchmarks")
+    if not benchmarks:
+        raise SystemExit(
+            f"baseline {baseline_path} trajectory point "
+            f"{trajectory[-1].get('point')} records no benchmarks — "
+            "refresh it with tools/profile_hotpaths.py --json"
+        )
+    return benchmarks
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,15 +101,32 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     measured = parse_results(args.results)
-    trajectory = json.loads(args.baseline.read_text()).get("trajectory", [])
-    if not trajectory:
-        print("no committed trajectory; nothing to compare", file=sys.stderr)
+    committed = latest_benchmarks(args.baseline)
+
+    unknown = sorted(set(measured) - set(committed))
+    if unknown:
+        # A benchmark the trajectory has never seen is a half-landed
+        # change (new workload without a refreshed baseline): say so
+        # instead of silently skipping it.
+        print(
+            f"benchmark name(s) missing from the committed trajectory: "
+            f"{', '.join(unknown)} — refresh {args.baseline} with "
+            "tools/profile_hotpaths.py --json",
+            file=sys.stderr,
+        )
         return 1
-    committed = trajectory[-1]["benchmarks"]
 
     failures = []
     compared = 0
     for workload, baseline in sorted(committed.items()):
+        if "fast_s" not in baseline:
+            print(
+                f"{workload:34s} baseline entry has no fast_s — "
+                f"refresh {args.baseline}",
+                file=sys.stderr,
+            )
+            failures.append(workload)
+            continue
         modes = measured.get(workload)
         if modes is None or "fast" not in modes:
             print(f"{workload:34s} missing from results", file=sys.stderr)
@@ -110,7 +161,27 @@ def main(argv: list[str] | None = None) -> int:
         speedup = legacy / fast if legacy is not None else None
         speedup_ok = speedup is None or speedup >= args.min_speedup
 
-        verdict = "ok" if absolute_ok and speedup_ok else "REGRESSED"
+        # Perf point 1: the compiled engine has its own committed
+        # budget, gated with the same tolerance and machine factor.
+        compiled = modes.get("compiled")
+        compiled_ok = True
+        compiled_text = "compiled n/a"
+        if baseline.get("compiled_s"):
+            if compiled is None:
+                compiled_ok = False
+                compiled_text = "compiled MISSING from results"
+            else:
+                compiled_budget = (
+                    baseline["compiled_s"] * args.tolerance * factor
+                )
+                compiled_ok = compiled <= compiled_budget
+                compiled_text = (
+                    f"compiled {compiled:.4f}s (budget "
+                    f"{compiled_budget:.4f}s)"
+                )
+
+        ok = absolute_ok and speedup_ok and compiled_ok
+        verdict = "ok" if ok else "REGRESSED"
         speedup_text = (
             f"speedup {speedup:5.2f}x (floor {args.min_speedup}x)"
             if speedup is not None
@@ -119,9 +190,10 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{workload:34s} fast {fast:8.4f}s   budget {budget:8.4f}s "
             f"({args.tolerance}x of {baseline['fast_s']:.4f}s, machine "
-            f"factor {factor:.2f})   {speedup_text}   {verdict}"
+            f"factor {factor:.2f})   {speedup_text}   {compiled_text}   "
+            f"{verdict}"
         )
-        if not (absolute_ok and speedup_ok):
+        if not ok:
             failures.append(workload)
 
     if compared == 0:

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
-"""Profile the event-core hot paths, before vs after the fast path.
+"""Profile the event-core hot paths across the three engines.
 
 For each workload in :data:`repro.queueing.hotpath.HOTPATH_WORKLOADS`
-this tool times and cProfiles both engine modes —
+this tool times (and optionally cProfiles) the engine modes —
 
-* **legacy** (``fast_path=False``): the pre-interning string path,
+* **legacy** (``engine="legacy"``): the pre-interning string path,
   kept bit-identical in-tree, so "before" stays measurable on today's
   hardware instead of living only in an old commit;
-* **fast** (the default compiled path): int-coded coschedules, flat
-  rate arrays, memoized probe candidate sets —
+* **fast** (``engine="fast"``): int-coded coschedules, flat rate
+  arrays, memoized probe candidate sets (perf point 0);
+* **compiled** (``engine="compiled"``): count-vector state, event
+  fusion, machine batching, and vectorized/filtered probe resolution
+  (perf point 1) —
 
 and prints the top stacks of each (so you can *see* the sort/dict
 churn leave the profile) plus a speedup table.  ``--json`` writes the
@@ -20,7 +23,8 @@ the committed baseline with::
 Usage::
 
     PYTHONPATH=src python tools/profile_hotpaths.py [--workload NAME]
-        [--top N] [--repeats N] [--json PATH] [--note TEXT]
+        [--top N] [--repeats N] [--backend NAME] [--json PATH]
+        [--note TEXT]
 """
 
 from __future__ import annotations
@@ -37,15 +41,20 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.queueing.compiled import BACKENDS  # noqa: E402
 from repro.queueing.hotpath import HOTPATH_WORKLOADS, measure  # noqa: E402
 
+ENGINES = ("legacy", "fast", "compiled")
 
-def top_stacks(workload: str, *, fast_path: bool, top: int) -> str:
-    """Top-``top`` functions by internal time for one mode."""
+
+def top_stacks(
+    workload: str, *, engine: str, backend: str | None, top: int
+) -> str:
+    """Top-``top`` functions by internal time for one engine mode."""
     runner = HOTPATH_WORKLOADS[workload]
     profiler = cProfile.Profile()
     profiler.enable()
-    runner(fast_path=fast_path)
+    runner(engine=engine, backend=backend)
     profiler.disable()
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
@@ -69,13 +78,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--top", type=int, default=10)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="compiled-engine scoring backend (default: the benchmarked"
+        " winner, see repro.queueing.compiled.default_backend)",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         help="write a BENCH_CORE.json-format trajectory to this path",
     )
     parser.add_argument(
         "--note",
-        default="interned-type fast path (TypeCodec + compiled RunRateMemo)",
+        default="count-vector compiled engine (fusion + batching + "
+        "filtered probes)",
         help="trajectory-point annotation for --json",
     )
     args = parser.parse_args(argv)
@@ -83,40 +100,71 @@ def main(argv: list[str] | None = None) -> int:
 
     results: dict[str, dict[str, object]] = {}
     for workload in workloads:
-        legacy = measure(workload, fast_path=False, repeats=args.repeats)
-        fast = measure(workload, fast_path=True, repeats=args.repeats)
-        if legacy["completed"] != fast["completed"]:
-            raise SystemExit(
-                f"{workload}: legacy completed {legacy['completed']} jobs "
-                f"but fast completed {fast['completed']} — the paths "
-                "diverged; run the equivalence property tests"
+        timed = {
+            engine: measure(
+                workload,
+                engine=engine,
+                backend=args.backend if engine == "compiled" else None,
+                repeats=args.repeats,
             )
+            for engine in ENGINES
+        }
+        completions = {
+            engine: run["completed"] for engine, run in timed.items()
+        }
+        if len(set(completions.values())) != 1:
+            raise SystemExit(
+                f"{workload}: engines completed different job counts "
+                f"({completions}) — the engines diverged; run the "
+                "differential property tests"
+            )
+        legacy, fast, compiled = (
+            timed["legacy"],
+            timed["fast"],
+            timed["compiled"],
+        )
         speedup = legacy["seconds"] / fast["seconds"]
+        compiled_speedup = fast["seconds"] / compiled["seconds"]
+        compiled_stats = compiled["memo_stats"] or {}
         results[workload] = {
             "legacy_s": round(legacy["seconds"], 4),
             "fast_s": round(fast["seconds"], 4),
+            "compiled_s": round(compiled["seconds"], 4),
             "speedup": round(speedup, 2),
+            "compiled_speedup": round(compiled_speedup, 2),
             "completed": fast["completed"],
             "memo_stats": fast["memo_stats"],
+            "engine_stats": compiled_stats.get("engine"),
         }
 
         print(f"== {workload} ==")
         print(
-            f"legacy {legacy['seconds']:.4f}s   fast {fast['seconds']:.4f}s"
-            f"   speedup {speedup:.2f}x   ({fast['completed']} completions)"
+            f"legacy {legacy['seconds']:.4f}s   fast "
+            f"{fast['seconds']:.4f}s ({speedup:.2f}x)   compiled "
+            f"{compiled['seconds']:.4f}s ({compiled_speedup:.2f}x over "
+            f"fast)   ({fast['completed']} completions)"
         )
         print(f"memo stats (fast): {fast['memo_stats']}")
-        print("\n-- top stacks, legacy path --")
-        print(top_stacks(workload, fast_path=False, top=args.top))
-        print("\n-- top stacks, fast path --")
-        print(top_stacks(workload, fast_path=True, top=args.top))
+        print(f"engine stats (compiled): {compiled_stats.get('engine')}")
+        for engine in ENGINES:
+            print(f"\n-- top stacks, {engine} engine --")
+            print(
+                top_stacks(
+                    workload,
+                    engine=engine,
+                    backend=args.backend if engine == "compiled" else None,
+                    top=args.top,
+                )
+            )
         print()
 
     print("== summary ==")
     for workload, entry in results.items():
         print(
             f"{workload:34s} {entry['legacy_s']:>8.4f}s -> "
-            f"{entry['fast_s']:>8.4f}s   {entry['speedup']:.2f}x"
+            f"{entry['fast_s']:>8.4f}s ({entry['speedup']:.2f}x) -> "
+            f"{entry['compiled_s']:>8.4f}s "
+            f"({entry['compiled_speedup']:.2f}x over fast)"
         )
 
     if args.json:
