@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Scale-out benchmark: wall clock AND peak memory vs job count.
+
+The streaming-metrics tentpole claims a cluster run's memory footprint
+is bounded by the jobs *in* the system, never by the jobs it has
+completed — so a 10x longer run must cost 10x the time but ~0x extra
+memory.  This benchmark measures that directly: a 64-machine cluster
+under Poisson traffic at 100k (default), 1M (``--full``), and 10M
+(``REPRO_BENCH_10M=1``) jobs, reporting
+
+* ``wall_s`` — monolithic compiled-engine run;
+* ``sharded_s`` — the same run split into time-slice shards via
+  :func:`repro.queueing.sharding.run_sharded` (the pause/merge
+  overhead the CI gate bounds as a *ratio* of ``wall_s``);
+* ``tracemalloc_peak_mb`` — peak Python-heap allocation;
+* ``peak_rss_mb`` — the process high-water mark (``ru_maxrss``).
+
+Every measurement runs in its own fresh interpreter: RSS high-water
+marks can't leak between cases, and tracemalloc's slowdown never
+touches the timing runs.  Results land in ``BENCH_CORE.json`` trajectory
+point 2 and are gated by ``tools/compare_bench.py --scale``.
+
+Usage::
+
+    python benchmarks/bench_scale.py --json results/bench_scale.json
+    python benchmarks/bench_scale.py --full          # adds the 1M case
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+N_MACHINES = 64
+CONTEXTS = 2
+SEED = 13
+#: Offered load: mean job arrival rate per machine.  Calibrated well
+#: inside the stable region so the in-system population — and with it
+#: the memory ceiling — stays O(machines), independent of run length.
+RATE_PER_MACHINE = 0.9
+DEFAULT_SHARDS = 8
+
+
+def _build():
+    from repro.queueing.cluster import Cluster
+    from repro.queueing.dispatch import RoundRobinDispatcher
+    from repro.queueing.hotpath import synthetic_rates
+    from repro.queueing.schedulers import make_scheduler
+
+    rates, types = synthetic_rates(n_types=5, contexts=CONTEXTS, seed=7)
+    cluster = Cluster(
+        rates,
+        [
+            make_scheduler("maxit", rates, CONTEXTS)
+            for _ in range(N_MACHINES)
+        ],
+        RoundRobinDispatcher(),
+    )
+    return cluster, types
+
+
+def _stream(types, n_jobs: int):
+    from repro.queueing.arrivals import poisson_arrivals
+
+    return poisson_arrivals(
+        types,
+        rate=RATE_PER_MACHINE * N_MACHINES,
+        n_jobs=n_jobs,
+        seed=SEED,
+    )
+
+
+def _max_events(n_jobs: int) -> int:
+    return 4 * n_jobs + 10_000
+
+
+def _worker_time(n_jobs: int, shards: int) -> dict:
+    cluster, types = _build()
+    start = time.perf_counter()
+    metrics = cluster.run(
+        _stream(types, n_jobs),
+        engine="compiled",
+        max_events=_max_events(n_jobs),
+    )
+    wall_s = time.perf_counter() - start
+
+    from repro.queueing.sharding import plan_boundaries, run_sharded
+
+    cluster, types = _build()
+    duration = n_jobs / (RATE_PER_MACHINE * N_MACHINES)
+    start = time.perf_counter()
+    sharded = run_sharded(
+        cluster,
+        lambda: _stream(types, n_jobs),
+        boundaries=plan_boundaries(shards, duration),
+        engine="compiled",
+        max_events=_max_events(n_jobs),
+    )
+    sharded_s = time.perf_counter() - start
+    if [m.to_jsonable() for m in sharded.metrics.per_machine] != [
+        m.to_jsonable() for m in metrics.per_machine
+    ]:
+        raise SystemExit("sharded metrics diverged from monolithic run")
+    return {
+        "wall_s": round(wall_s, 4),
+        "sharded_s": round(sharded_s, 4),
+        "shards": shards,
+        "completed": metrics.completed,
+        "jobs_per_s": round(metrics.completed / wall_s, 1),
+    }
+
+
+def _worker_mem(n_jobs: int) -> dict:
+    import resource
+    import tracemalloc
+
+    cluster, types = _build()
+    tracemalloc.start()
+    metrics = cluster.run(
+        _stream(types, n_jobs),
+        engine="compiled",
+        max_events=_max_events(n_jobs),
+    )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "tracemalloc_peak_mb": round(peak / 1e6, 2),
+        "peak_rss_mb": round(rss_kb / 1024, 1),
+        "completed": metrics.completed,
+    }
+
+
+def _spawn(worker: str, n_jobs: int, shards: int) -> dict:
+    """One measurement in a fresh interpreter; JSON on stdout."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--worker",
+            worker,
+            "--n-jobs",
+            str(n_jobs),
+            "--shards",
+            str(shards),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"{worker} worker failed for n_jobs={n_jobs}:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="write the measurement payload as JSON",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="add the 1M-job case (about a minute)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=DEFAULT_SHARDS,
+        help="shard count for the sharded_s measurement",
+    )
+    parser.add_argument("--worker", choices=["time", "mem"], default=None)
+    parser.add_argument("--n-jobs", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.worker is not None:
+        result = (
+            _worker_time(args.n_jobs, args.shards)
+            if args.worker == "time"
+            else _worker_mem(args.n_jobs)
+        )
+        json.dump(result, sys.stdout)
+        return 0
+
+    counts = [100_000]
+    if args.full:
+        counts.append(1_000_000)
+    if os.environ.get("REPRO_BENCH_10M"):
+        counts.append(10_000_000)
+
+    cases = []
+    for n_jobs in counts:
+        timing = _spawn("time", n_jobs, args.shards)
+        memory = _spawn("mem", n_jobs, args.shards)
+        case = {"n_jobs": n_jobs, **timing, **{
+            k: v for k, v in memory.items() if k != "completed"
+        }}
+        cases.append(case)
+        print(
+            f"{n_jobs:>10,} jobs  wall {case['wall_s']:8.2f}s  "
+            f"sharded {case['sharded_s']:8.2f}s "
+            f"(x{case['sharded_s'] / case['wall_s']:.2f})  "
+            f"heap peak {case['tracemalloc_peak_mb']:7.1f} MB  "
+            f"rss peak {case['peak_rss_mb']:7.1f} MB  "
+            f"({case['jobs_per_s']:,.0f} jobs/s)"
+        )
+
+    if len(cases) > 1:
+        growth = (
+            cases[-1]["tracemalloc_peak_mb"] / cases[0]["tracemalloc_peak_mb"]
+        )
+        jobs_growth = cases[-1]["n_jobs"] / cases[0]["n_jobs"]
+        print(
+            f"memory flatness: {jobs_growth:.0f}x the jobs cost "
+            f"{growth:.2f}x the peak heap"
+        )
+
+    payload = {
+        "config": {
+            "n_machines": N_MACHINES,
+            "contexts": CONTEXTS,
+            "rate_per_machine": RATE_PER_MACHINE,
+            "engine": "compiled",
+            "scheduler": "maxit",
+            "dispatcher": "round_robin",
+            "seed": SEED,
+        },
+        "cases": cases,
+    }
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

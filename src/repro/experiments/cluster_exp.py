@@ -33,6 +33,7 @@ from repro.experiments.common import (
     ExperimentContext,
     format_table,
     sample_workloads,
+    snapshot_rates,
 )
 from repro.experiments.registry import Experiment, RunOptions, register
 from repro.microarch.rates import RateSource, infer_contexts
@@ -41,6 +42,7 @@ from repro.queueing.dispatch import make_dispatcher
 from repro.queueing.engine import run_system
 from repro.queueing.job import Job
 from repro.queueing.schedulers import make_scheduler
+from repro.queueing.sharding import parallel_map
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -129,6 +131,73 @@ class ClusterComparison:
         )
 
 
+def _compare_workload(payload: tuple) -> ClusterComparison:
+    """One workload's full comparison from a pure-data payload.
+
+    Module-level so :func:`repro.queueing.sharding.parallel_map` can
+    pickle it for the ``jobs`` fan-out; the serial path calls it too,
+    so both paths run the identical code.
+    """
+    rates, workload, p = payload
+    k = p["contexts"]
+    n_machines = p["n_machines"]
+    joint = joint_optimal_throughput(
+        rates, workload, n_machines, contexts=k
+    )
+    reduced = reduced_optimal_throughput(
+        rates, workload, n_machines, contexts=k
+    )
+
+    schedulers = [
+        make_scheduler(p["scheduler"], rates, k, workload=workload)
+        for _ in range(n_machines)
+    ]
+    cluster = Cluster(
+        rates,
+        schedulers,
+        make_dispatcher(
+            p["dispatcher"], rates=rates, workload=workload, contexts=k
+        ),
+    )
+    cluster_metrics = cluster.run(
+        balanced_saturated_jobs(
+            workload.types,
+            n_machines * p["jobs_per_machine"],
+            seed=p["seed"],
+        ),
+        stop_when_fewer_than=n_machines * k,
+        keep_in_system=p["backlog_per_machine"],
+    )
+
+    independent = sum(
+        run_system(
+            rates,
+            make_scheduler(p["scheduler"], rates, k, workload=workload),
+            balanced_saturated_jobs(
+                workload.types,
+                p["jobs_per_machine"],
+                seed=p["seed"] + machine + 1,
+            ),
+            stop_when_fewer_than=k,
+            keep_in_system=p["backlog_per_machine"],
+        ).throughput
+        for machine in range(n_machines)
+    )
+
+    return ClusterComparison(
+        workload_label=workload.label(),
+        n_machines=n_machines,
+        scheduler=p["scheduler"],
+        dispatcher=p["dispatcher"],
+        joint_lp_throughput=joint.throughput,
+        reduced_lp_throughput=reduced.throughput,
+        cluster_throughput=cluster_metrics.throughput,
+        independent_throughput=independent,
+        tolerance=p["tolerance"],
+        memo_stats=cluster.last_memo_stats,
+    )
+
+
 def compute_cluster(
     rates: RateSource,
     workloads: Sequence[Workload],
@@ -141,6 +210,7 @@ def compute_cluster(
     tolerance: float = 0.05,
     seed: int = 0,
     contexts: int | None = None,
+    jobs: int = 1,
 ) -> list[ClusterComparison]:
     """Compare the simulated cluster against both reduction references.
 
@@ -148,68 +218,30 @@ def compute_cluster(
     (with :func:`reduced_optimal_throughput` as a sanity cross-check),
     a saturated M-machine cluster simulation, and M independent
     saturated single-machine simulations whose throughputs sum.
+
+    Workload cells share nothing, so ``jobs > 1`` fans them out over
+    worker processes (each receives a frozen
+    :func:`~repro.experiments.common.snapshot_rates` table covering its
+    workload, keeping results bit-identical to a serial run).
     """
     k = infer_contexts(rates, contexts)
-    comparisons = []
-    for workload in workloads:
-        joint = joint_optimal_throughput(
-            rates, workload, n_machines, contexts=k
-        )
-        reduced = reduced_optimal_throughput(
-            rates, workload, n_machines, contexts=k
-        )
-
-        schedulers = [
-            make_scheduler(scheduler, rates, k, workload=workload)
-            for _ in range(n_machines)
+    params = {
+        "contexts": k,
+        "n_machines": n_machines,
+        "scheduler": scheduler,
+        "dispatcher": dispatcher,
+        "jobs_per_machine": jobs_per_machine,
+        "backlog_per_machine": backlog_per_machine,
+        "tolerance": tolerance,
+        "seed": seed,
+    }
+    if jobs > 1 and len(workloads) > 1:
+        payloads = [
+            (snapshot_rates(rates, w.types, k), w, params)
+            for w in workloads
         ]
-        cluster = Cluster(
-            rates,
-            schedulers,
-            make_dispatcher(
-                dispatcher, rates=rates, workload=workload, contexts=k
-            ),
-        )
-        cluster_metrics = cluster.run(
-            balanced_saturated_jobs(
-                workload.types,
-                n_machines * jobs_per_machine,
-                seed=seed,
-            ),
-            stop_when_fewer_than=n_machines * k,
-            keep_in_system=backlog_per_machine,
-        )
-
-        independent = sum(
-            run_system(
-                rates,
-                make_scheduler(scheduler, rates, k, workload=workload),
-                balanced_saturated_jobs(
-                    workload.types,
-                    jobs_per_machine,
-                    seed=seed + machine + 1,
-                ),
-                stop_when_fewer_than=k,
-                keep_in_system=backlog_per_machine,
-            ).throughput
-            for machine in range(n_machines)
-        )
-
-        comparisons.append(
-            ClusterComparison(
-                workload_label=workload.label(),
-                n_machines=n_machines,
-                scheduler=scheduler,
-                dispatcher=dispatcher,
-                joint_lp_throughput=joint.throughput,
-                reduced_lp_throughput=reduced.throughput,
-                cluster_throughput=cluster_metrics.throughput,
-                independent_throughput=independent,
-                tolerance=tolerance,
-                memo_stats=cluster.last_memo_stats,
-            )
-        )
-    return comparisons
+        return parallel_map(_compare_workload, payloads, jobs)
+    return [_compare_workload((rates, w, params)) for w in workloads]
 
 
 def run(
@@ -220,6 +252,7 @@ def run(
     n_machines: int = 3,
     jobs_per_machine: int = 400,
     seed: int = 0,
+    jobs: int = 1,
 ) -> list[ClusterComparison]:
     """The cluster validation on a deterministic workload subsample."""
     workloads = sample_workloads(context.workloads, max_workloads, seed=seed)
@@ -229,6 +262,7 @@ def run(
         n_machines=n_machines,
         jobs_per_machine=jobs_per_machine,
         seed=seed,
+        jobs=jobs,
     )
 
 
@@ -293,6 +327,7 @@ def _registry_run(
         max_workloads=options.workloads(2),
         jobs_per_machine=160 if options.quick else 400,
         seed=options.seed_for("cluster_exp"),
+        jobs=options.jobs,
     )
 
 

@@ -23,13 +23,15 @@ from repro.microarch.rate_cache import (
     CacheStats,
     RateCacheStore,
 )
-from repro.microarch.rates import RateSource, RateTable
+from repro.microarch.rates import RateSource, RateTable, TableRates
+from repro.util.multiset import multisets
 from repro.util.rng import make_rng
 
 __all__ = [
     "ExperimentContext",
     "default_context",
     "sample_workloads",
+    "snapshot_rates",
     "format_table",
 ]
 
@@ -129,6 +131,28 @@ def default_context(
         workloads=list(workloads),
         cache=store,
     )
+
+
+def snapshot_rates(
+    rates: RateSource, types: Sequence[str], contexts: int
+) -> TableRates:
+    """Freeze the rates a run over ``types`` can touch into pure data.
+
+    Every coschedule a cluster run, scheduler offline phase, or
+    affinity LP can query is a multiset of the run's types of size
+    ``1..contexts``; snapshotting exactly that set yields a small,
+    picklable :class:`~repro.microarch.rates.TableRates` that worker
+    processes receive by value — no lazy simulator or cache-store
+    handles cross the process boundary, and the frozen floats make
+    every worker's run bit-identical to an in-process one.
+    """
+    roster = sorted(set(types))
+    coschedules = [
+        combo
+        for size in range(1, contexts + 1)
+        for combo in multisets(roster, size)
+    ]
+    return TableRates({c: rates.type_rates(c) for c in coschedules})
 
 
 def sample_workloads(

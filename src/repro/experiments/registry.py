@@ -73,11 +73,24 @@ class RunOptions:
             via :meth:`seed_for` so parallel workers stay deterministic
             regardless of scheduling order.
         quick: smoke-test mode (small subsamples everywhere).
+        jobs: worker processes for *within*-experiment fan-out (the
+            runner only sets this above 1 when a single experiment is
+            named — otherwise ``--jobs`` parallelizes across
+            experiments and each one runs its cells serially).
+        shards: time-slice shards per simulated run (scale-out
+            experiments pass this to
+            :func:`repro.queueing.sharding.run_sharded`; results are
+            bit-identical for every value).
+        checkpoint_dir: directory for crash-safe per-run checkpoints
+            (``None`` disables checkpointing).
     """
 
     max_workloads: int | None = None
     seed: int = 0
     quick: bool = False
+    jobs: int = 1
+    shards: int = 1
+    checkpoint_dir: str | None = None
 
     def seed_for(self, name: str) -> int:
         """Deterministic per-experiment seed (stable across runs and
@@ -147,12 +160,17 @@ def discover() -> None:
 def to_jsonable(obj: object) -> object:
     """Recursively convert an experiment result to JSON-safe data.
 
-    Dataclasses become dicts of their fields, mappings/sequences recurse,
-    objects with a ``label()`` method (workloads) collapse to that
-    label, and anything else falls back to ``str``.
+    Objects exposing a ``to_jsonable()`` method (streaming metrics,
+    scenarios) emit their own payload, dataclasses become dicts of
+    their fields, mappings/sequences recurse, objects with a
+    ``label()`` method (workloads) collapse to that label, and
+    anything else falls back to ``str``.
     """
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
+    emit = getattr(obj, "to_jsonable", None)
+    if callable(emit) and not isinstance(obj, type):
+        return to_jsonable(emit())
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             f.name: to_jsonable(getattr(obj, f.name))

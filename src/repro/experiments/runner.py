@@ -212,7 +212,30 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes; each shares the persisted rate cache",
+        help="worker processes; each shares the persisted rate cache. "
+        "With several experiments named, workers split the experiments; "
+        "with exactly one, they split its independent cells (e.g. the "
+        "scenario_sweep (scenario, dispatcher) grid) — results are "
+        "bit-identical either way",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split each simulated run into N deterministic time-slice "
+        "shards (scale-out experiments only; metrics are bit-identical "
+        "for every N, shards just bound memory and give --checkpoint-dir "
+        "its save points)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write a crash-safe checkpoint after every shard and resume "
+        "from one left by a killed run (requires --shards > 1 to "
+        "checkpoint mid-run; the run resumes bit-identically)",
     )
     parser.add_argument(
         "--max-workloads",
@@ -266,11 +289,27 @@ def main(argv: list[str] | None = None) -> int:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
 
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 2
+
     max_workloads = args.max_workloads
     if args.quick and max_workloads is None:
         max_workloads = 30
     options = RunOptions(
-        max_workloads=max_workloads, seed=args.seed, quick=args.quick
+        max_workloads=max_workloads,
+        seed=args.seed,
+        quick=args.quick,
+        # With one experiment the worker pool moves inside it (cell
+        # fan-out); with several, the pool splits the experiments and
+        # each runs its cells serially.
+        jobs=args.jobs if len(names) == 1 else 1,
+        shards=args.shards,
+        checkpoint_dir=(
+            str(args.checkpoint_dir)
+            if args.checkpoint_dir is not None
+            else None
+        ),
     )
     cache_path: Path | None = None if args.no_cache else args.cache
 

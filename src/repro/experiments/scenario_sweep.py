@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.optimal import optimal_throughput
@@ -29,6 +30,7 @@ from repro.experiments.common import (
     ExperimentContext,
     format_table,
     sample_workloads,
+    snapshot_rates,
 )
 from repro.experiments.registry import Experiment, RunOptions, register
 from repro.microarch.rates import RateSource, infer_contexts
@@ -36,10 +38,16 @@ from repro.queueing.cluster import Cluster, ClusterMetrics
 from repro.queueing.dispatch import make_dispatcher
 from repro.queueing.scenarios import Scenario, all_scenarios
 from repro.queueing.schedulers import make_scheduler
+from repro.queueing.sharding import (
+    parallel_map,
+    plan_boundaries,
+    run_sharded,
+)
 
 __all__ = [
     "DISPATCHERS",
     "ScenarioOutcome",
+    "snapshot_rates",
     "compute_scenario_sweep",
     "run",
     "render",
@@ -68,6 +76,8 @@ class ScenarioOutcome:
         completed: jobs completed inside the measurement window.
         engine: engine that advanced the run (all three are
             bit-identical; this is provenance, not a result axis).
+        shards: time-slice shards the run was split into (provenance —
+            every value yields bit-identical metrics).
         memo_stats: the run's ``RunRateMemo`` hit/miss counters.
         engine_stats: compiled-engine counters (fusion count, batch
             sizes, probe vectorization hit rate); ``None`` on the
@@ -86,6 +96,7 @@ class ScenarioOutcome:
     fairness: float
     completed: int
     engine: str = "fast"
+    shards: int = 1
     memo_stats: dict | None = None
     engine_stats: dict | None = None
 
@@ -118,6 +129,8 @@ def run_scenario(
     capacity: float | None = None,
     engine: str | None = None,
     backend: str | None = None,
+    shards: int = 1,
+    checkpoint_dir: Path | str | None = None,
 ) -> ScenarioOutcome:
     """Run one (scenario, dispatcher) cell on the cluster simulator.
 
@@ -127,6 +140,14 @@ def run_scenario(
     exactly as in :meth:`Cluster.run` (all engines are bit-identical;
     the compiled one additionally reports its fusion/batching/
     vectorization counters in the outcome).
+
+    ``shards > 1`` splits the run into deterministic time-slice
+    segments (boundaries from the scenario's expected duration —
+    stream length over mean rate, or backlog work over cluster
+    capacity when saturated); ``checkpoint_dir`` additionally writes a
+    crash-safe checkpoint after every shard and resumes from one left
+    by a killed run.  Both change only where the run can pause:
+    metrics are bit-identical to the unsharded cell.
     """
     k = infer_contexts(rates, contexts)
     if capacity is None:
@@ -139,12 +160,16 @@ def run_scenario(
         if scenario.saturated
         else scenario.load * capacity / scenario.mean_size
     )
-    stream = scenario.build_jobs(
-        workload.types,
-        mean_rate=mean_rate,
-        seed=_scenario_seed(seed, scenario.name),
-        n_jobs=count,
-    )
+    cell_seed = _scenario_seed(seed, scenario.name)
+
+    def build_stream():
+        return scenario.build_jobs(
+            workload.types,
+            mean_rate=mean_rate,
+            seed=cell_seed,
+            n_jobs=count,
+        )
+
     schedulers = [
         make_scheduler(scheduler, rates, k, workload=workload)
         for _ in range(n_machines)
@@ -156,17 +181,40 @@ def run_scenario(
             dispatcher, rates=rates, workload=workload, contexts=k
         ),
     )
-    metrics = cluster.run(
-        stream,
-        stop_when_fewer_than=(
-            n_machines * k if scenario.saturated else None
-        ),
-        keep_in_system=(
-            scenario.backlog_per_machine if scenario.saturated else None
-        ),
-        engine=engine,
-        backend=backend,
+    stop_when_fewer_than = n_machines * k if scenario.saturated else None
+    keep_in_system = (
+        scenario.backlog_per_machine if scenario.saturated else None
     )
+    if shards > 1 or checkpoint_dir is not None:
+        # Expected run length: offered jobs over the offered rate, or —
+        # saturated — the backlog's work over the cluster's work rate.
+        # Only checkpoint spacing depends on this estimate.
+        duration = (
+            count * scenario.mean_size / capacity
+            if scenario.saturated
+            else count / mean_rate
+        )
+        if checkpoint_dir is not None:
+            Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
+        sharded = run_sharded(
+            cluster,
+            build_stream,
+            boundaries=plan_boundaries(max(shards, 1), duration),
+            checkpoint_dir=checkpoint_dir,
+            stop_when_fewer_than=stop_when_fewer_than,
+            keep_in_system=keep_in_system,
+            engine=engine,
+            backend=backend,
+        )
+        metrics = sharded.metrics
+    else:
+        metrics = cluster.run(
+            build_stream(),
+            stop_when_fewer_than=stop_when_fewer_than,
+            keep_in_system=keep_in_system,
+            engine=engine,
+            backend=backend,
+        )
     return ScenarioOutcome(
         scenario=scenario.name,
         dispatcher=dispatcher,
@@ -182,9 +230,21 @@ def run_scenario(
         fairness=_fairness(metrics),
         completed=metrics.completed,
         engine=engine or "fast",
+        shards=max(shards, 1),
         memo_stats=cluster.last_memo_stats,
         engine_stats=cluster.last_engine_stats,
     )
+
+
+def _cell_worker(payload: tuple) -> ScenarioOutcome:
+    """Run one sweep cell from a pure-data payload (spawn-safe).
+
+    Module-level so :func:`repro.queueing.sharding.parallel_map` can
+    pickle it; the payload carries a :func:`snapshot_rates` table, so
+    a worker computes the exact floats of an in-process run.
+    """
+    rates, workload, scenario, dispatcher, kwargs = payload
+    return run_scenario(rates, workload, scenario, dispatcher, **kwargs)
 
 
 def compute_scenario_sweep(
@@ -200,37 +260,74 @@ def compute_scenario_sweep(
     contexts: int | None = None,
     engine: str | None = "compiled",
     backend: str | None = None,
+    jobs: int = 1,
+    shards: int = 1,
+    checkpoint_dir: Path | str | None = None,
 ) -> list[ScenarioOutcome]:
     """Sweep every scenario against every dispatcher on one workload.
 
     Defaults to the compiled engine (bit-identical to the others) so
     every cell's JSON carries the engine counters alongside the memo
     stats; pass ``engine=None`` for the plain fast path.
+
+    The (scenario, dispatcher) cells share nothing, so ``jobs > 1``
+    fans them out over worker processes (results keep sweep order and
+    every float is identical to a serial run — workers receive a
+    frozen :func:`snapshot_rates` table).  ``shards`` /
+    ``checkpoint_dir`` apply per cell (each cell checkpoints in its own
+    ``scenario__dispatcher`` subdirectory, so a killed sweep resumes
+    every unfinished cell from its last completed shard).
     """
     k = infer_contexts(rates, contexts)
     capacity = n_machines * optimal_throughput(
         rates, workload, contexts=k
     ).throughput
-    outcomes = []
-    for scenario in scenarios if scenarios is not None else all_scenarios():
-        for dispatcher in dispatchers:
-            outcomes.append(
-                run_scenario(
-                    rates,
-                    workload,
-                    scenario,
-                    dispatcher,
-                    n_machines=n_machines,
-                    scheduler=scheduler,
-                    n_jobs=n_jobs,
-                    seed=seed,
-                    contexts=k,
-                    capacity=capacity,
-                    engine=engine,
-                    backend=backend,
+    cells = [
+        (scenario, dispatcher)
+        for scenario in (
+            scenarios if scenarios is not None else all_scenarios()
+        )
+        for dispatcher in dispatchers
+    ]
+
+    def cell_kwargs(scenario: Scenario, dispatcher: str) -> dict:
+        return {
+            "n_machines": n_machines,
+            "scheduler": scheduler,
+            "n_jobs": n_jobs,
+            "seed": seed,
+            "contexts": k,
+            "capacity": capacity,
+            "engine": engine,
+            "backend": backend,
+            "shards": shards,
+            "checkpoint_dir": (
+                str(
+                    Path(checkpoint_dir)
+                    / f"{scenario.name}__{dispatcher}"
                 )
-            )
-    return outcomes
+                if checkpoint_dir is not None
+                else None
+            ),
+        }
+
+    if jobs > 1 and len(cells) > 1:
+        frozen = snapshot_rates(rates, workload.types, k)
+        payloads = [
+            (frozen, workload, scenario, dispatcher, cell_kwargs(scenario, dispatcher))
+            for scenario, dispatcher in cells
+        ]
+        return parallel_map(_cell_worker, payloads, jobs)
+    return [
+        run_scenario(
+            rates,
+            workload,
+            scenario,
+            dispatcher,
+            **cell_kwargs(scenario, dispatcher),
+        )
+        for scenario, dispatcher in cells
+    ]
 
 
 def run(
@@ -240,6 +337,9 @@ def run(
     n_machines: int = 3,
     n_jobs: int | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    shards: int = 1,
+    checkpoint_dir: str | None = None,
 ) -> list[ScenarioOutcome]:
     """The sweep on one deterministically sampled workload."""
     workload = sample_workloads(context.workloads, 1, seed=seed)[0]
@@ -249,6 +349,9 @@ def run(
         n_machines=n_machines,
         n_jobs=n_jobs,
         seed=seed,
+        jobs=jobs,
+        shards=shards,
+        checkpoint_dir=checkpoint_dir,
     )
 
 
@@ -321,6 +424,9 @@ def _registry_run(
         context,
         n_jobs=400 if options.quick else None,
         seed=options.seed_for("scenario_sweep"),
+        jobs=options.jobs,
+        shards=options.shards,
+        checkpoint_dir=options.checkpoint_dir,
     )
 
 

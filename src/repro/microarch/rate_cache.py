@@ -83,6 +83,13 @@ def _atomic_dump(path: Path, write) -> None:
     full disk, an unserializable rate, a KeyboardInterrupt), the temp
     file is removed and any existing file at ``path`` is left exactly
     as it was — a failed dump must never truncate a good cache.
+
+    Durable against power loss, not just process death: the temp
+    file's contents are fsynced before the rename (so the new name can
+    never point at an unwritten file) and the parent directory is
+    fsynced after it (so the rename itself survives a crash).  That
+    ordering is what lets simulation checkpoints trust whatever file
+    the restore path finds.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
@@ -91,7 +98,14 @@ def _atomic_dump(path: Path, write) -> None:
     try:
         with os.fdopen(fd, "w") as fp:
             write(fp)
+            fp.flush()
+            os.fsync(fp.fileno())
         os.replace(tmp_name, path)
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp_name)

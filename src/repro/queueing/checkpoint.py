@@ -1,0 +1,302 @@
+"""Crash-safe checkpoint/restore of a paused cluster run.
+
+A :class:`~repro.queueing.cluster.ClusterRunHandle` paused between
+events is a complete description of the simulation's future: the
+clock, every machine's queue/running set/rates/lazy-sync point, the
+scheduler and dispatcher run state, the arrival stream position, and
+the loop's in-flight bookkeeping.  :func:`capture` serializes all of
+it to a JSON payload; :func:`restore` rebuilds a handle in a *fresh
+process* that continues the run through the exact operation sequence
+of the uninterrupted one — a killed multi-million-job run resumes
+bit-identically.
+
+Why this is exact, not approximate:
+
+* Floats round-trip JSON losslessly (``repr`` ↔ ``float``), and the
+  streaming metrics accumulators serialize as arbitrary-precision
+  integers, which JSON also round-trips exactly.
+* Per-coschedule rates are *recomputed* on restore through the run
+  memo (a pure function of the rate table), reproducing the exact
+  floats the paused run held; the type codec's id assignment is
+  replayed from the serialized encounter-order name list.
+* The arrival stream is rebuilt by the caller from its deterministic
+  seed (see :func:`repro.util.rng.derive_rng`) and fast-forwarded by
+  the serialized pull count; the in-flight pending job is re-pulled
+  from the rebuilt stream and integrity-checked against the payload.
+
+Files are written with the fsync-hardened
+:func:`repro.microarch.rate_cache._atomic_dump`, so the file a restore
+finds is always a complete checkpoint — power loss mid-write leaves
+the previous one in place.
+
+Format: ``repro-checkpoint-v1``.  The version is checked on load;
+future format changes must bump it (a restore never guesses).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.microarch.rate_cache import _atomic_dump
+from repro.queueing.cluster import (
+    Cluster,
+    ClusterRunHandle,
+    JobQueue,
+    LoopState,
+)
+from repro.queueing.job import Job
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "capture",
+    "save",
+    "load",
+    "restore",
+]
+
+#: Format tag embedded in (and required of) every checkpoint file.
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
+_INF = float("inf")
+
+
+def _job_payload(job: Job) -> list:
+    return [
+        job.job_id,
+        job.job_type,
+        job.size,
+        job.arrival_time,
+        job.remaining,
+    ]
+
+
+def _job_matches(job: Job, payload: list) -> bool:
+    return (
+        job.job_id == payload[0]
+        and job.job_type == payload[1]
+        and job.size == payload[2]
+        and job.arrival_time == payload[3]
+    )
+
+
+def capture(
+    handle: ClusterRunHandle, *, extra: dict | None = None
+) -> dict:
+    """Serialize a paused run handle to a JSON-safe payload.
+
+    The handle must be paused between events (``advance(pause_at=...)``
+    returned ``False``); a finished or never-advanced run has nothing
+    meaningful to checkpoint.  ``extra`` rides along under ``"extra"``
+    — the sharding driver stores its shard index and the exact
+    accumulated window metrics there.
+    """
+    state = handle.state
+    if state is None:
+        raise SimulationError(
+            "capture() needs a paused run (advance(pause_at=...) that "
+            "returned False)"
+        )
+    machines = []
+    for machine in handle.machines:
+        machines.append({
+            "jobs": [_job_payload(job) for job in machine.jobs],
+            # Selection order, not just membership: sync() progresses
+            # running jobs in this order and float accumulation of the
+            # interval's work is order-sensitive.
+            "running_ids": [job.job_id for job in machine.running],
+            "coschedule": list(machine.coschedule),
+            "next_completion": machine.next_completion,
+            "last_sync": machine.last_sync,
+            "dirty": machine.dirty,
+            "metrics": machine.metrics.to_state(),
+        })
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "run": {
+            "engine": handle.engine,
+            "backend": handle.backend,
+            "warmup_time": handle.warmup_time,
+            "horizon": handle.horizon,
+            "stop_when_fewer_than": handle.stop_when_fewer_than,
+            "keep_in_system": handle.keep_in_system,
+            "max_events": handle.max_events,
+        },
+        "loop": {
+            "clock": state.clock,
+            "last_arrival": state.last_arrival,
+            "in_system": state.in_system,
+            "full_machines": state.full_machines,
+            "routed": state.routed,
+            "pending": (
+                _job_payload(state.pending)
+                if state.pending is not None
+                else None
+            ),
+            "age_ok": (
+                list(state.age_ok) if state.age_ok is not None else None
+            ),
+        },
+        "stream": {"jobs_pulled": handle.jobs_pulled},
+        # Encounter-order type vocabulary: replaying it on restore
+        # reproduces every interned id of the original run.
+        "codec": (
+            list(handle.memo.codec.names())
+            if handle.engine != "legacy"
+            else None
+        ),
+        "machines": machines,
+        "schedulers": [
+            m.scheduler.state_dict() for m in handle.machines
+        ],
+        "dispatcher": handle.cluster.dispatcher.state_dict(),
+        "extra": extra or {},
+    }
+
+
+def save(path: Path | str, payload: dict) -> None:
+    """Write a checkpoint payload crash-safely (fsync + atomic rename)."""
+    _atomic_dump(
+        Path(path), lambda fp: json.dump(payload, fp, separators=(",", ":"))
+    )
+
+
+def load(path: Path | str) -> dict:
+    """Read and validate a checkpoint payload."""
+    with open(path, encoding="utf-8") as fp:
+        payload = json.load(fp)
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise SimulationError(
+            f"unsupported checkpoint format {payload.get('format')!r} "
+            f"in {path} (expected {CHECKPOINT_FORMAT!r})"
+        )
+    return payload
+
+
+def restore(
+    cluster: Cluster,
+    arrivals: Iterable[Job],
+    payload: dict,
+    *,
+    pick_log: list | None = None,
+) -> ClusterRunHandle:
+    """Rebuild a paused run handle from a checkpoint payload.
+
+    ``arrivals`` must be the *same deterministic stream* the original
+    run was started with (rebuilt from its seed); it is fast-forwarded
+    past every job the checkpointed run had already pulled.  The
+    returned handle continues with ``advance()`` exactly as the
+    original would have.
+
+    Scheduler and dispatcher run state is restored onto the cluster's
+    live objects; the running sets are reconstructed from serialized
+    ids — selection is **never** re-invoked on restore (it would
+    duplicate pick-log entries, and remaining-time policies could pick
+    differently mid-interval).
+    """
+    run = payload["run"]
+    handle = cluster.start(
+        arrivals,
+        warmup_time=run["warmup_time"],
+        horizon=run["horizon"],
+        stop_when_fewer_than=run["stop_when_fewer_than"],
+        keep_in_system=run["keep_in_system"],
+        max_events=run["max_events"],
+        engine=run["engine"],
+        backend=run["backend"],
+        pick_log=pick_log,
+    )
+    if len(handle.machines) != len(payload["machines"]):
+        raise SimulationError(
+            "checkpoint machine count does not match this cluster: "
+            f"{len(payload['machines'])} vs {len(handle.machines)}"
+        )
+    fast = handle.engine != "legacy"
+    memo = handle.memo
+    if fast:
+        for name in payload["codec"]:
+            memo.codec.encode(name)
+
+    # Fast-forward the rebuilt stream to the checkpointed position.
+    loop = payload["loop"]
+    pending_payload = loop["pending"]
+    pulled = payload["stream"]["jobs_pulled"]
+    skip = pulled - (1 if pending_payload is not None else 0)
+    for _ in range(skip):
+        if next(handle.stream, None) is None:
+            raise SimulationError(
+                "arrival stream ended before the checkpointed position "
+                "— it is not the stream this checkpoint was taken from"
+            )
+    pending: Job | None = None
+    if pending_payload is not None:
+        pending = next(handle.stream, None)
+        if pending is None or not _job_matches(pending, pending_payload):
+            raise SimulationError(
+                "arrival stream does not reproduce the checkpointed "
+                "pending job — wrong stream or seed"
+            )
+
+    from repro.queueing.system import SystemMetrics
+
+    for machine, mstate in zip(handle.machines, payload["machines"]):
+        queue = JobQueue()
+        by_id: dict[int, Job] = {}
+        for job_id, job_type, size, arrival_time, remaining in mstate[
+            "jobs"
+        ]:
+            job = Job(
+                job_id=job_id,
+                job_type=job_type,
+                size=size,
+                arrival_time=arrival_time,
+                remaining=remaining,
+            )
+            job.type_code = memo.codec.encode(job_type) if fast else None
+            queue.append(job)
+            by_id[job.job_id] = job
+        if fast:
+            queue.enable_index(memo.codec)
+        machine.jobs = queue
+        running = [by_id[i] for i in mstate["running_ids"]]
+        machine.running = running
+        if fast:
+            codes = tuple(sorted(job.type_code for job in running))
+            entry = memo.compiled_entry(codes)
+            machine.coschedule = entry.names
+            machine.job_rates = entry.per_job
+            machine.rates_by_code = entry.rates_by_code
+        else:
+            machine.coschedule = tuple(mstate["coschedule"])
+            machine.job_rates = memo.per_job_rates(machine.coschedule)
+            machine.rates_by_code = None
+        if list(machine.coschedule) != mstate["coschedule"]:
+            raise SimulationError(
+                "restored coschedule does not match the checkpoint — "
+                "the rate table or codec differs from the original run"
+            )
+        machine.next_completion = mstate["next_completion"]
+        machine.last_sync = mstate["last_sync"]
+        machine.dirty = mstate["dirty"]
+        machine.metrics = SystemMetrics.from_state(mstate["metrics"])
+
+    for machine, sched_state in zip(
+        handle.machines, payload["schedulers"]
+    ):
+        machine.scheduler.load_state(sched_state)
+    cluster.dispatcher.load_state(payload["dispatcher"])
+
+    handle.state = LoopState(
+        clock=loop["clock"],
+        last_arrival=loop["last_arrival"],
+        in_system=loop["in_system"],
+        full_machines=loop["full_machines"],
+        routed=loop["routed"],
+        pending=pending,
+        age_ok=(
+            tuple(loop["age_ok"]) if loop["age_ok"] is not None else None
+        ),
+    )
+    return handle

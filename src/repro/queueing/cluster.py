@@ -67,6 +67,8 @@ __all__ = [
     "Machine",
     "ClusterMetrics",
     "Cluster",
+    "ClusterRunHandle",
+    "LoopState",
     "run_cluster",
 ]
 
@@ -96,6 +98,51 @@ def _uncoded_stream(stream: Iterator[Job]) -> Iterator[Job]:
         yield job
 
 
+class _CountingStream:
+    """Iterator wrapper counting successful pulls.
+
+    The count is what checkpoints persist: a resumed run rebuilds the
+    (deterministic) arrival stream and skips exactly ``pulled`` jobs to
+    land on the next un-pulled arrival.
+    """
+
+    __slots__ = ("_stream", "pulled")
+
+    def __init__(self, stream: Iterator[Job]) -> None:
+        self._stream = stream
+        self.pulled = 0
+
+    def __iter__(self) -> "_CountingStream":
+        return self
+
+    def __next__(self) -> Job:
+        job = next(self._stream)
+        self.pulled += 1
+        return job
+
+
+@dataclass
+class LoopState:
+    """Engine loop state between two events, captured at a pause.
+
+    A pause always lands *between* events — after the clock advanced to
+    the next event's time but before any of that event's effects — so
+    resuming performs the exact operation sequence of the unpaused
+    run.  ``pending`` is the pulled-but-unadmitted head of the arrival
+    stream; ``routed`` its already-made dispatch decision (if any);
+    ``age_ok`` the compiled engine's per-machine queue-order flags
+    (``None`` on the interpreted engines).
+    """
+
+    clock: float
+    last_arrival: float
+    in_system: int
+    full_machines: int
+    routed: int | None
+    pending: Job | None
+    age_ok: tuple[bool, ...] | None = None
+
+
 class JobQueue(list):
     """A machine's job list with an incremental per-type-code index.
 
@@ -120,8 +167,20 @@ class JobQueue(list):
         self.index_codec: TypeCodec | None = None
 
     def enable_index(self, codec: TypeCodec) -> None:
-        """Start maintaining the per-type-code index (empty queue)."""
-        self.by_code = {}
+        """Start maintaining the per-type-code index.
+
+        Any jobs already queued (a checkpoint-restored queue) seed the
+        pools in list order, which is admission order — the exact
+        grouping incremental maintenance would have produced.
+        """
+        index: dict[int, list[Job]] = {}
+        for job in self:
+            pool = index.get(job.type_code)
+            if pool is None:
+                index[job.type_code] = [job]
+            else:
+                pool.append(job)
+        self.by_code = index
         self.index_codec = codec
 
     def admit(self, job: Job) -> None:
@@ -162,7 +221,7 @@ class Machine:
 
     machine_id: int
     scheduler: Scheduler
-    jobs: list[Job] = field(default_factory=JobQueue)
+    jobs: JobQueue = field(default_factory=JobQueue)
     running: list[Job] = field(default_factory=list)
     coschedule: tuple[str, ...] = ()
     job_rates: dict[str, float] = field(default_factory=dict)
@@ -174,6 +233,15 @@ class Machine:
     metrics: SystemMetrics = field(default_factory=SystemMetrics)
     dirty: bool = True
     epoch: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalize whatever iterable the caller handed in: every
+        # engine then takes JobQueue's incremental removal path, and
+        # the O(queue)-per-completion plain-list rebuild is gone.
+        if type(self.jobs) is not JobQueue:
+            queue = JobQueue()
+            queue.extend(self.jobs)
+            self.jobs = queue
 
     @property
     def contexts(self) -> int:
@@ -281,30 +349,26 @@ class Machine:
 
     def admit(self, job: Job) -> None:
         """Add an arriving job to the queue (index kept in sync)."""
-        jobs = self.jobs
-        if type(jobs) is JobQueue:
-            jobs.admit(job)
-        else:
-            jobs.append(job)
+        self.jobs.admit(job)
 
     def complete_finished(self, clock: float, warmup: float) -> int:
-        """Retire running jobs whose work is done; returns the count."""
+        """Retire running jobs whose work is done; returns the count.
+
+        Retired jobs leave the machine entirely: their turnaround is
+        folded into the streaming metrics here and nothing retains the
+        Job object afterwards, so a run's footprint is bounded by the
+        jobs *in* the system, never by the jobs it has completed.
+        """
         finished = [job for job in self.running if job.done]
         for job in finished:
             job.completion_time = clock
             if clock >= warmup:
                 self.metrics.observe_completion(job.turnaround)
         if finished:
-            done_ids = {job.job_id for job in finished}
-            jobs = self.jobs
-            if type(jobs) is JobQueue:
-                jobs.remove_ids(
-                    done_ids, {job.type_code for job in finished}
-                )
-            else:
-                self.jobs = [
-                    job for job in jobs if job.job_id not in done_ids
-                ]
+            self.jobs.remove_ids(
+                {job.job_id for job in finished},
+                {job.type_code for job in finished},
+            )
         return len(finished)
 
 
@@ -324,6 +388,43 @@ class ClusterMetrics:
     def n_machines(self) -> int:
         """Number of machines in the cluster."""
         return len(self.per_machine)
+
+    def merge(self, other: "ClusterMetrics") -> "ClusterMetrics":
+        """Exact machine-wise reduction of two measurement windows.
+
+        Inherits :meth:`SystemMetrics.merge`'s algebra: associative,
+        commutative, bit-identical to the monolithic single-window run
+        for any split of the same event sequence.
+        """
+        if self.n_machines != other.n_machines:
+            raise SimulationError(
+                "cannot merge windows over different machine counts: "
+                f"{self.n_machines} vs {other.n_machines}"
+            )
+        return ClusterMetrics(per_machine=tuple(
+            a.merge(b) for a, b in zip(self.per_machine, other.per_machine)
+        ))
+
+    @classmethod
+    def reduce(cls, windows: Iterable["ClusterMetrics"]) -> "ClusterMetrics":
+        """Merge any number of windows (order-independent result)."""
+        merged: ClusterMetrics | None = None
+        for window in windows:
+            merged = window if merged is None else merged.merge(window)
+        if merged is None:
+            raise SimulationError("no metric windows to reduce")
+        return merged
+
+    def to_state(self) -> list[dict[str, object]]:
+        """Exact per-machine accumulator states (checkpoint payload)."""
+        return [m.to_state() for m in self.per_machine]
+
+    @classmethod
+    def from_state(cls, state: Sequence[dict]) -> "ClusterMetrics":
+        """Rebuild from :meth:`to_state`, bit-exactly."""
+        return cls(per_machine=tuple(
+            SystemMetrics.from_state(s) for s in state
+        ))
 
     def machine(self, index: int) -> SystemMetrics:
         """Metrics of one machine."""
@@ -460,102 +561,61 @@ class Cluster:
                 decision, in decision order — the pick-sequence trace
                 the differential harness compares across engines.
         """
-        if engine is None:
-            engine = "fast" if fast_path else "legacy"
-        if engine not in ("legacy", "fast", "compiled"):
-            raise SimulationError(
-                f"unknown engine {engine!r}; choose legacy, fast, "
-                "or compiled"
-            )
-        fast = engine != "legacy"
-        memo = RunRateMemo(self.rates, compiled=fast)
-        machines = [
-            Machine(machine_id=i, scheduler=s)
-            for i, s in enumerate(self.schedulers)
-        ]
-        if fast:
-            for machine in machines:
-                machine.jobs.enable_index(memo.codec)
-        stream = iter(arrivals)
-        stream = (
-            _encoded_stream(stream, memo.codec)
-            if fast
-            else _uncoded_stream(stream)
+        handle = self.start(
+            arrivals,
+            warmup_time=warmup_time,
+            horizon=horizon,
+            stop_when_fewer_than=stop_when_fewer_than,
+            keep_in_system=keep_in_system,
+            max_events=max_events,
+            fast_path=fast_path,
+            engine=engine,
+            backend=backend,
+            engine_options=engine_options,
+            pick_log=pick_log,
         )
-        # Hoist the per-run memo into every scheduler that probes the
-        # run's own rate source, so candidate evaluation and stepping
-        # share one memo (restored on exit — schedulers outlive runs).
-        # The rebind is identity-conditioned on purpose: a scheduler
-        # deliberately built on a *different* rate source (e.g. a
-        # counterfactual table) keeps probing its own source.
-        rebound = [s for s in self.schedulers if s.rates is self.rates]
-        for scheduler in rebound:
-            scheduler.bind_rates(memo)
-        # Dispatchers with per-type state (the affinity policy) flatten
-        # it onto the run's type ids; unbound on exit so a later run —
-        # whose codec may assign different ids — starts clean.
-        bind_codec = getattr(self.dispatcher, "bind_codec", None)
-        if bind_codec is not None and fast:
-            bind_codec(memo.codec)
-        engine_stats = None
         try:
-            if engine == "compiled":
-                from repro.queueing.compiled import (
-                    CompiledEngineStats,
-                    default_backend,
-                    run_compiled,
-                    BACKENDS,
-                )
-
-                resolved = backend or default_backend()
-                if resolved not in BACKENDS:
-                    raise SimulationError(
-                        f"unknown backend {resolved!r}; choose "
-                        f"{' or '.join(BACKENDS)}"
-                    )
-                options = engine_options or {}
-                engine_stats = CompiledEngineStats(backend=resolved)
-                run_compiled(
-                    memo,
-                    machines,
-                    stream,
-                    warmup_time=warmup_time,
-                    horizon=horizon,
-                    stop_when_fewer_than=stop_when_fewer_than,
-                    keep_in_system=keep_in_system,
-                    max_events=max_events,
-                    stats=engine_stats,
-                    dispatcher=self.dispatcher,
-                    fuse=options.get("fuse", True),
-                    batch=options.get("batch", True),
-                    pick_log=pick_log,
-                )
-            else:
-                self._event_loop(
-                    memo,
-                    machines,
-                    stream,
-                    warmup_time=warmup_time,
-                    horizon=horizon,
-                    stop_when_fewer_than=stop_when_fewer_than,
-                    keep_in_system=keep_in_system,
-                    max_events=max_events,
-                    pick_log=pick_log,
-                )
+            handle.advance()
         finally:
-            for scheduler in rebound:
-                scheduler.bind_rates(self.rates)
-            if bind_codec is not None:
-                bind_codec(None)
-            # Recorded even when the run raises: a diagnostic path
-            # catching the error should see this run's counters, not
-            # the previous run's.
-            self.last_memo_stats = memo.stats_dict()
-            self.last_engine_stats = (
-                engine_stats.as_dict() if engine_stats is not None else None
-            )
-        return ClusterMetrics(
-            per_machine=tuple(m.metrics for m in machines)
+            handle.close()
+        return handle.result()
+
+    def start(
+        self,
+        arrivals: Iterable[Job],
+        *,
+        warmup_time: float = 0.0,
+        horizon: float | None = None,
+        stop_when_fewer_than: int | None = None,
+        keep_in_system: int | None = None,
+        max_events: int = 5_000_000,
+        fast_path: bool = True,
+        engine: str | None = None,
+        backend: str | None = None,
+        engine_options: dict[str, bool] | None = None,
+        pick_log: list | None = None,
+    ) -> "ClusterRunHandle":
+        """Begin a pausable run; same knobs as :meth:`run`.
+
+        Returns a :class:`ClusterRunHandle` whose
+        :meth:`~ClusterRunHandle.advance` processes events up to a
+        pause time per call.  Any segmentation performs the exact
+        operation sequence of the single-call :meth:`run` — the
+        scale-out contract the sharding and checkpoint layers build on.
+        """
+        return ClusterRunHandle(
+            self,
+            arrivals,
+            warmup_time=warmup_time,
+            horizon=horizon,
+            stop_when_fewer_than=stop_when_fewer_than,
+            keep_in_system=keep_in_system,
+            max_events=max_events,
+            fast_path=fast_path,
+            engine=engine,
+            backend=backend,
+            engine_options=engine_options,
+            pick_log=pick_log,
         )
 
     def _event_loop(
@@ -570,26 +630,58 @@ class Cluster:
         keep_in_system: int | None,
         max_events: int,
         pick_log: list | None = None,
-    ) -> None:
+        pause_at: float | None = None,
+        resume: LoopState | None = None,
+    ) -> LoopState | None:
         dispatcher = self.dispatcher
-        pending: Job | None = next(stream, None)
-        clock = 0.0
-        last_arrival = -1.0
+        if resume is None:
+            pending: Job | None = next(stream, None)
+            clock = 0.0
+            last_arrival = -1.0
+            # Dispatch decision made at an arrival event, consumed by
+            # the admission at the top of the next iteration (so the
+            # event and the admission agree on the target, and
+            # round-robin's cursor advances exactly once per job).
+            routed: int | None = None
+            # Incrementally maintained cluster state, so an event costs
+            # O(log M + rescheduling one machine) instead of O(M)
+            # scans: jobs currently admitted, machines at their
+            # admission cap, and the machines needing re-selection
+            # before the next event.
+            in_system = 0
+            full_machines = 0
+        else:
+            pending = resume.pending
+            clock = resume.clock
+            last_arrival = resume.last_arrival
+            routed = resume.routed
+            in_system = resume.in_system
+            full_machines = resume.full_machines
         # Indexed min-heap of absolute next-completion times; entries
-        # are invalidated by bumping the machine's epoch (lazy deletion).
+        # are invalidated by bumping the machine's epoch (lazy
+        # deletion).  Seeded from machines that already hold a valid
+        # selection (a no-op on a fresh run, where every machine is
+        # dirty); dirty machines are re-selected — and pushed — by the
+        # flush below, so a paused run resumes with the same heap top.
         heap: list[tuple[float, int, int]] = []
-        # Dispatch decision made at an arrival event, consumed by the
-        # admission at the top of the next iteration (so the event and
-        # the admission agree on the target, and round-robin's cursor
-        # advances exactly once per job).
-        routed: int | None = None
-        # Incrementally maintained cluster state, so an event costs
-        # O(log M + rescheduling one machine) instead of O(M) scans:
-        # jobs currently admitted, machines at their admission cap, and
-        # the machines needing re-selection before the next event.
-        in_system = 0
-        full_machines = 0
-        dirty_list: list[Machine] = list(machines)
+        dirty_list: list[Machine] = []
+        for machine in machines:
+            if machine.dirty:
+                dirty_list.append(machine)
+            elif machine.running:
+                heapq.heappush(
+                    heap,
+                    (
+                        machine.last_sync + machine.next_completion,
+                        machine.machine_id,
+                        machine.epoch,
+                    ),
+                )
+        # Stale lazy-deletion entries accumulate one per reschedule;
+        # compact once they dominate so heap memory stays O(machines)
+        # over arbitrarily long runs.  Rebuilding never changes pop
+        # order: ordering depends only on entry values.
+        compact_floor = max(64, 4 * len(machines))
 
         def has_room(machine: Machine) -> bool:
             return (
@@ -687,6 +779,15 @@ class Cluster:
                         )
                 dirty_list.clear()
 
+            if len(heap) > compact_floor:
+                heap = [
+                    entry
+                    for entry in heap
+                    if machines[entry[1]].epoch == entry[2]
+                    and machines[entry[1]].running
+                ]
+                heapq.heapify(heap)
+
             # Earliest completion across machines (heap top, pruning
             # stale entries), expressed relative to the clock so the
             # M=1 path compares the exact quantities the seed did.
@@ -723,6 +824,22 @@ class Cluster:
                 )
             dt = max(dt, 0.0)
             new_clock = clock + dt
+
+            # Shard boundary: the next event falls past the pause time,
+            # so stop *between* events — the clock stays at the last
+            # processed event, no machine syncs, and the tail interval
+            # is observed (identically) by the next segment.  Placed
+            # after the no-progress check so a stuck run raises here
+            # exactly as it would unpaused.
+            if pause_at is not None and new_clock > pause_at:
+                return LoopState(
+                    clock=clock,
+                    last_arrival=last_arrival,
+                    in_system=in_system,
+                    full_machines=full_machines,
+                    routed=routed,
+                    pending=pending,
+                )
 
             if next_machine is not None and next_completion <= dt:
                 # Completion event: only its machine advances eagerly.
@@ -772,6 +889,222 @@ class Cluster:
         # machines' empty time included) up to the final clock.
         for machine in machines:
             machine.sync(clock, warmup=warmup_time)
+        return None
+
+
+class ClusterRunHandle:
+    """One pausable run of a :class:`Cluster` (see :meth:`Cluster.start`).
+
+    Owns the run's memo, machines, stream and scheduler/dispatcher
+    bindings, and advances the run in segments.  Each :meth:`advance`
+    stops *between* events, so any sequence of segments — including
+    segments executed in a different process after a checkpoint
+    restore — performs the exact operation sequence of one
+    uninterrupted :meth:`Cluster.run`.  Sharded drivers swap per-shard
+    metric windows out with :meth:`take_window`; the exact-merge
+    algebra of :class:`~repro.queueing.system.SystemMetrics` makes the
+    reduced windows bit-identical to the monolithic run's metrics.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        arrivals: Iterable[Job],
+        *,
+        warmup_time: float = 0.0,
+        horizon: float | None = None,
+        stop_when_fewer_than: int | None = None,
+        keep_in_system: int | None = None,
+        max_events: int = 5_000_000,
+        fast_path: bool = True,
+        engine: str | None = None,
+        backend: str | None = None,
+        engine_options: dict[str, bool] | None = None,
+        pick_log: list | None = None,
+    ) -> None:
+        if engine is None:
+            engine = "fast" if fast_path else "legacy"
+        if engine not in ("legacy", "fast", "compiled"):
+            raise SimulationError(
+                f"unknown engine {engine!r}; choose legacy, fast, "
+                "or compiled"
+            )
+        self.cluster = cluster
+        self.engine = engine
+        fast = engine != "legacy"
+        self.memo = RunRateMemo(cluster.rates, compiled=fast)
+        self.machines = [
+            Machine(machine_id=i, scheduler=s)
+            for i, s in enumerate(cluster.schedulers)
+        ]
+        if fast:
+            for machine in self.machines:
+                machine.jobs.enable_index(self.memo.codec)
+        #: Raw-pull counter around the arrival stream; its ``pulled``
+        #: count is what checkpoints persist to fast-forward a rebuilt
+        #: stream on restore.
+        self.counter = _CountingStream(iter(arrivals))
+        self.stream = (
+            _encoded_stream(self.counter, self.memo.codec)
+            if fast
+            else _uncoded_stream(self.counter)
+        )
+        self.warmup_time = warmup_time
+        self.horizon = horizon
+        self.stop_when_fewer_than = stop_when_fewer_than
+        self.keep_in_system = keep_in_system
+        self.max_events = max_events
+        self.pick_log = pick_log
+        #: Loop state while paused between segments; ``None`` before
+        #: the first :meth:`advance` and after completion.
+        self.state: LoopState | None = None
+        self.finished = False
+        self._closed = False
+        #: Compiled-engine per-machine count-vector states, kept across
+        #: segments (their queue-order flags must survive a pause).
+        self._cstates: list | None = None
+        self._engine_options = engine_options or {}
+        self.backend: str | None = None
+        self.engine_stats = None
+        if engine == "compiled":
+            from repro.queueing.compiled import (
+                BACKENDS,
+                CompiledEngineStats,
+                default_backend,
+            )
+
+            resolved = backend or default_backend()
+            if resolved not in BACKENDS:
+                raise SimulationError(
+                    f"unknown backend {resolved!r}; choose "
+                    f"{' or '.join(BACKENDS)}"
+                )
+            self.backend = resolved
+            self.engine_stats = CompiledEngineStats(backend=resolved)
+        # Hoist the per-run memo into every scheduler that probes the
+        # run's own rate source, so candidate evaluation and stepping
+        # share one memo (restored on close — schedulers outlive runs).
+        # The rebind is identity-conditioned on purpose: a scheduler
+        # deliberately built on a *different* rate source (e.g. a
+        # counterfactual table) keeps probing its own source.
+        self._rebound = [
+            s for s in cluster.schedulers if s.rates is cluster.rates
+        ]
+        for scheduler in self._rebound:
+            scheduler.bind_rates(self.memo)
+        # Dispatchers with per-type state (the affinity policy) flatten
+        # it onto the run's type ids; unbound on close so a later run —
+        # whose codec may assign different ids — starts clean.
+        self._bind_codec = getattr(cluster.dispatcher, "bind_codec", None)
+        if self._bind_codec is not None and fast:
+            self._bind_codec(self.memo.codec)
+
+    @property
+    def jobs_pulled(self) -> int:
+        """Jobs pulled from the arrival stream so far (incl. pending)."""
+        return self.counter.pulled
+
+    def advance(self, pause_at: float | None = None) -> bool:
+        """Process events up to ``pause_at`` (or completion).
+
+        Returns ``True`` once the run has completed.  On completion the
+        handle closes itself (bindings restored, run stats recorded on
+        the cluster), exactly as the single-shot :meth:`Cluster.run`
+        does in its ``finally`` block — as it also does if a segment
+        raises.
+        """
+        if self.finished:
+            return True
+        if self._closed:
+            raise SimulationError("cluster run handle already closed")
+        try:
+            if self.engine == "compiled":
+                from repro.queueing.compiled import (
+                    _prepare_state,
+                    run_compiled,
+                )
+
+                if self._cstates is None:
+                    self._cstates = _prepare_state(self.machines, self.memo)
+                state = run_compiled(
+                    self.memo,
+                    self.machines,
+                    self.stream,
+                    warmup_time=self.warmup_time,
+                    horizon=self.horizon,
+                    stop_when_fewer_than=self.stop_when_fewer_than,
+                    keep_in_system=self.keep_in_system,
+                    max_events=self.max_events,
+                    stats=self.engine_stats,
+                    dispatcher=self.cluster.dispatcher,
+                    fuse=self._engine_options.get("fuse", True),
+                    batch=self._engine_options.get("batch", True),
+                    pick_log=self.pick_log,
+                    pause_at=pause_at,
+                    resume=self.state,
+                    states=self._cstates,
+                )
+            else:
+                state = self.cluster._event_loop(
+                    self.memo,
+                    self.machines,
+                    self.stream,
+                    warmup_time=self.warmup_time,
+                    horizon=self.horizon,
+                    stop_when_fewer_than=self.stop_when_fewer_than,
+                    keep_in_system=self.keep_in_system,
+                    max_events=self.max_events,
+                    pick_log=self.pick_log,
+                    pause_at=pause_at,
+                    resume=self.state,
+                )
+        except BaseException:
+            self.close()
+            raise
+        self.state = state
+        if state is None:
+            self.finished = True
+            self.close()
+        return self.finished
+
+    def take_window(self) -> ClusterMetrics:
+        """Detach the metrics window accumulated since the last take.
+
+        Every machine gets a fresh accumulator for the next window;
+        :meth:`ClusterMetrics.reduce` over all windows reproduces the
+        monolithic run's metrics bit-identically.
+        """
+        window = ClusterMetrics(
+            per_machine=tuple(m.metrics for m in self.machines)
+        )
+        for machine in self.machines:
+            machine.metrics = SystemMetrics()
+        return window
+
+    def result(self) -> ClusterMetrics:
+        """Metrics accumulated since the last window take (or start)."""
+        return ClusterMetrics(
+            per_machine=tuple(m.metrics for m in self.machines)
+        )
+
+    def close(self) -> None:
+        """Restore bindings and record run stats (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for scheduler in self._rebound:
+            scheduler.bind_rates(self.cluster.rates)
+        if self._bind_codec is not None:
+            self._bind_codec(None)
+        # Recorded even when a segment raises: a diagnostic path
+        # catching the error should see this run's counters, not the
+        # previous run's.
+        self.cluster.last_memo_stats = self.memo.stats_dict()
+        self.cluster.last_engine_stats = (
+            self.engine_stats.as_dict()
+            if self.engine_stats is not None
+            else None
+        )
 
 
 def run_cluster(

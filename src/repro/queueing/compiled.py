@@ -62,6 +62,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import SimulationError
+from repro.queueing.cluster import LoopState
 from repro.queueing.job import Job
 from repro.queueing.ratememo import CandidateSet, ProbeCandidate, RunRateMemo
 from repro.queueing.schedulers import (
@@ -232,6 +233,14 @@ def _prepare_state(
     states = []
     for machine in machines:
         ms = _MState(machine)
+        # Seed the count vector from jobs already queued (a
+        # checkpoint-restored machine); empty on a fresh run.
+        counts = ms.counts
+        for job in machine.jobs:
+            code = job.type_code
+            while code >= len(counts):
+                counts.append(0)
+            counts[code] += 1
         scheduler = machine.scheduler
         observe = type(scheduler).observe
         if observe is not Scheduler.observe:
@@ -335,7 +344,10 @@ def run_compiled(
     fuse: bool = True,
     batch: bool = True,
     pick_log: list | None = None,
-) -> None:
+    pause_at: float | None = None,
+    resume: LoopState | None = None,
+    states: list[_MState] | None = None,
+) -> LoopState | None:
     """The compiled event loop (semantics of ``Cluster._event_loop``).
 
     Mutates the machines' metrics in place, exactly as the legacy loop
@@ -343,10 +355,18 @@ def run_compiled(
     run still reports its counters).  ``fuse`` and ``batch`` are debug
     knobs for the isolation property tests — disabling them must not
     change a single bit of any output.
+
+    Segmentation mirrors ``Cluster._event_loop``: with ``pause_at``
+    set, the loop stops between events once the next event would fall
+    past it and returns the :class:`LoopState` to resume from
+    (``resume=``); ``None`` means the run completed.  ``states`` lets a
+    run handle keep the per-machine compiled states (count vectors,
+    queue-order flags) alive across segments.
     """
     backend = stats.backend
     use_numpy = backend == "numpy" and _np is not None
-    states = _prepare_state(machines, memo)
+    if states is None:
+        states = _prepare_state(machines, memo)
     n_machines = len(machines)
     all_ids = list(range(n_machines))
     codec = memo.codec
@@ -355,16 +375,46 @@ def run_compiled(
     compiled_entry = memo.compiled_entry
     heappush, heappop = heapq.heappush, heapq.heappop
 
-    pending: Job | None = next(stream, None)
-    clock = 0.0
-    last_arrival = -1.0
+    if resume is None:
+        pending: Job | None = next(stream, None)
+        clock = 0.0
+        last_arrival = -1.0
+        routed: int | None = None
+        in_system = 0
+        full_machines = 0
+    else:
+        pending = resume.pending
+        clock = resume.clock
+        last_arrival = resume.last_arrival
+        routed = resume.routed
+        in_system = resume.in_system
+        full_machines = resume.full_machines
+        if resume.age_ok is not None:
+            # Queue-order flags are monotone (True -> False) within a
+            # run; a cross-process restore re-applies them here.
+            for ms, ok in zip(states, resume.age_ok):
+                ms.age_ok = ok
+    # Heap seeded from machines holding a valid selection — a no-op on
+    # a fresh run, where every machine starts dirty and gets pushed by
+    # the flush below.
     heap: list[tuple[float, int, int]] = []
-    routed: int | None = None
-    in_system = 0
-    full_machines = 0
-    dirty_list: list[_MState] = list(states)
+    dirty_list: list[_MState] = []
     for ms in states:
-        ms.machine.dirty = True
+        if ms.machine.dirty:
+            dirty_list.append(ms)
+        elif ms.machine.running:
+            heappush(
+                heap,
+                (
+                    ms.machine.last_sync + ms.machine.next_completion,
+                    ms.machine.machine_id,
+                    ms.machine.epoch,
+                ),
+            )
+    # Stale lazy-deletion entries are compacted once they dominate, so
+    # heap memory stays O(machines) over arbitrarily long runs (pop
+    # order depends only on entry values, never on layout).
+    compact_floor = max(64, 4 * n_machines)
 
     # ------------------------------------------------------------------
     # Inner helpers (closures: locals beat attribute lookups here).
@@ -372,10 +422,15 @@ def run_compiled(
     def sync(ms: _MState, new_clock: float, span: float | None) -> None:
         machine = ms.machine
         last = machine.last_sync
-        if fuse and new_clock == last:
+        if fuse and new_clock == last and not span:
             # Zero-span fusion: progress(0.0), a <=0-measured interval,
             # and observe(cos, 0.0) are all exact float no-ops (MAXTP's
-            # accumulators only ever hold non-negative values).
+            # accumulators only ever hold non-negative values).  Fusing
+            # is only valid when the span truly is zero: past clock 2^14
+            # an event's exact dt can round below ulp(clock), so
+            # new_clock == last with span > 0 — the interpreted loop
+            # still progresses the running jobs by rate * dt there, and
+            # skipping it would re-fire the completion forever.
             if not ms.zero_obs_safe:
                 ms.observe(machine.coschedule, 0.0)
             stats.fused_syncs += 1
@@ -892,6 +947,15 @@ def run_compiled(
                     )
             dirty_list = []
 
+        if len(heap) > compact_floor:
+            heap = [
+                entry
+                for entry in heap
+                if machines[entry[1]].epoch == entry[2]
+                and machines[entry[1]].running
+            ]
+            heapq.heapify(heap)
+
         next_state: _MState | None = None
         next_completion = _INF
         while heap:
@@ -926,6 +990,20 @@ def run_compiled(
         if dt < 0.0:
             dt = 0.0
         new_clock = clock + dt
+
+        # Shard boundary: stop between events (see the interpreted
+        # loop's twin check) — after the no-progress guard, so a stuck
+        # run raises exactly as it would unpaused.
+        if pause_at is not None and new_clock > pause_at:
+            return LoopState(
+                clock=clock,
+                last_arrival=last_arrival,
+                in_system=in_system,
+                full_machines=full_machines,
+                routed=routed,
+                pending=pending,
+                age_ok=tuple(ms.age_ok for ms in states),
+            )
 
         if next_state is not None and next_completion <= dt:
             machine = next_state.machine
@@ -966,3 +1044,4 @@ def run_compiled(
 
     for ms in states:
         sync(ms, clock, None)
+    return None

@@ -82,6 +82,18 @@ class Dispatcher(ABC):
         with per-type state (and ``None`` when the run ends, or when
         it takes the legacy path).  Stateless policies ignore it."""
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-safe mutable run state (checkpointing).
+
+        Online-stateless policies (JSQ, affinity — their per-run
+        matrices are rebuilt by ``bind_codec``) return ``{}``; the
+        round-robin cursor overrides both hooks.
+        """
+        return {}
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore mutable state captured by :meth:`state_dict`."""
+
 
 class RoundRobinDispatcher(Dispatcher):
     """Cycle through machines; skip to the next one with room.
@@ -114,6 +126,12 @@ class RoundRobinDispatcher(Dispatcher):
                 self._cursor = (index + 1) % n
                 return index
         raise WorkloadError("route() called with no eligible machine")
+
+    def state_dict(self) -> dict[str, object]:
+        return {"cursor": self._cursor}
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self._cursor = int(state["cursor"])
 
 
 class JoinShortestQueueDispatcher(Dispatcher):

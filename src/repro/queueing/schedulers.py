@@ -168,6 +168,19 @@ class Scheduler(ABC):
     def observe(self, coschedule: tuple[str, ...], dt: float) -> None:
         """Hook: the engine reports how long each coschedule ran."""
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-safe mutable run state (checkpointing).
+
+        Stateless policies return ``{}``; policies whose decisions
+        depend on run history (MAXTP's time accounting, RANDOM's RNG)
+        override both hooks so a checkpoint-restored run replays the
+        exact pick sequence of the uninterrupted one.
+        """
+        return {}
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore mutable state captured by :meth:`state_dict`."""
+
     def bind_rates(self, rates: RateSource) -> None:
         """Swap the rate source used for probing.
 
@@ -445,6 +458,25 @@ class MaxTpScheduler(Scheduler):
         if coschedule in self.time_in:
             self.time_in[coschedule] += dt
 
+    def state_dict(self) -> dict[str, object]:
+        """The deficit accounting (floats round-trip JSON exactly)."""
+        return {
+            "total_time": self.total_time,
+            "time_in": [
+                [list(s), t] for s, t in self.time_in.items()
+            ],
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self.total_time = float(state["total_time"])
+        restored = {tuple(s): float(t) for s, t in state["time_in"]}
+        if set(restored) != set(self.time_in):
+            raise SimulationError(
+                "MAXTP checkpoint targets do not match this workload's "
+                "LP coschedules"
+            )
+        self.time_in = restored
+
     def bind_rates(self, rates: RateSource) -> None:
         """Rebind both this scheduler and its MAXIT fallback."""
         super().bind_rates(rates)
@@ -571,6 +603,15 @@ class RandomScheduler(Scheduler):
         if len(jobs) <= self.contexts:
             return list(jobs)
         return self._rng.sample(list(jobs), self.contexts)
+
+    def state_dict(self) -> dict[str, object]:
+        """The Mersenne-Twister state (ints; JSON-exact)."""
+        version, internal, gauss = self._rng.getstate()
+        return {"rng": [version, list(internal), gauss]}
+
+    def load_state(self, state: dict[str, object]) -> None:
+        version, internal, gauss = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss))
 
 
 def make_scheduler(

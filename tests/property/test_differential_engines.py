@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.workload import Workload
@@ -126,6 +127,63 @@ def run_config(config, engine, backend):
         **config["knobs"],
     )
     return to_jsonable(metrics), picks
+
+
+class TestLargeClockStall:
+    """Regression: the million-job stall past clock 2^14.
+
+    Above ``clock = 2**14`` a double's ulp (3.6e-12) exceeds the
+    ``remaining <= 1e-12`` done-threshold, so a completion whose
+    absolute event time quantizes can leave a residual that re-fires
+    with ``clock + dt == clock``.  The compiled engine's zero-span
+    fusion used to swallow that positive exact span and spin forever
+    (observed at ~950k jobs into a 64-machine run).  Shifting a small
+    stream past the boundary reproduces it in milliseconds: with the
+    fix, every engine finishes within a normal event budget and all
+    stay bit-identical through the pathological completions.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_engines_finish_and_agree_past_two_pow_14(self, seed):
+        def shifted_jobs():
+            jobs = list(
+                get_scenario("baseline_poisson").build_jobs(
+                    ("A", "B", "C"), mean_rate=1.6, seed=seed, n_jobs=400
+                )
+            )
+            for job in jobs:
+                job.arrival_time += 16384.0
+            return jobs
+
+        rates, names = synthetic_rates(n_types=3, contexts=2)
+        workload = Workload.of(*names)
+
+        def run_engine(engine, backend):
+            cluster = Cluster(
+                rates,
+                [
+                    make_scheduler(
+                        "maxtp", rates, 2, workload=workload
+                    )
+                    for _ in range(2)
+                ],
+                make_dispatcher("jsq"),
+            )
+            picks: list = []
+            metrics = cluster.run(
+                shifted_jobs(),
+                engine=engine,
+                backend=backend,
+                pick_log=picks,
+                max_events=12_000,
+            )
+            return to_jsonable(metrics), picks
+
+        reference = run_engine(*ENGINE_VARIANTS[0][1:])
+        for label, engine, backend in ENGINE_VARIANTS[1:]:
+            assert run_engine(engine, backend) == reference, (
+                f"{label} diverges past clock 2**14 (seed {seed})"
+            )
 
 
 class TestDifferentialEngines:

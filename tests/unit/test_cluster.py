@@ -264,3 +264,59 @@ class TestClusterMetrics:
         metrics = ClusterMetrics(per_machine=())
         with pytest.raises(SimulationError):
             metrics.mean_turnaround
+
+
+class TestMachineJobQueuePath:
+    """Regression: every engine routes completions through JobQueue's
+    incremental ``remove_ids`` — the O(queue)-per-completion plain-list
+    rebuild path is gone and must stay gone."""
+
+    def test_plain_list_jobs_normalized_to_jobqueue(self, unit_rates):
+        from repro.queueing.cluster import JobQueue, Machine
+
+        machine = Machine(
+            machine_id=0,
+            scheduler=FcfsScheduler(unit_rates, 2),
+            jobs=jobs_at(("A", 0.0, 1.0), ("B", 0.0, 1.0)),
+        )
+        assert type(machine.jobs) is JobQueue
+        assert [job.job_type for job in machine.jobs] == ["A", "B"]
+
+    def test_completions_route_through_remove_ids(
+        self, unit_rates, monkeypatch
+    ):
+        from repro.queueing.cluster import JobQueue
+
+        removed: list[int] = []
+        original = JobQueue.remove_ids
+
+        def spy(self, ids, codes):
+            removed.append(len(ids))
+            return original(self, ids, codes)
+
+        monkeypatch.setattr(JobQueue, "remove_ids", spy)
+        metrics = fcfs_cluster(unit_rates, 2).run(
+            jobs_at(("A", 0.0, 1.0), ("B", 0.0, 1.0), ("A", 0.5, 1.0))
+        )
+        assert metrics.completed == 3
+        assert sum(removed) == 3
+
+    @pytest.mark.parametrize("engine", ["legacy", "fast", "compiled"])
+    def test_every_engine_keeps_the_queue_a_jobqueue(
+        self, unit_rates, engine
+    ):
+        from repro.queueing.cluster import JobQueue
+
+        cluster = fcfs_cluster(unit_rates, 2)
+        stream = jobs_at(
+            ("A", 0.0, 1.0), ("B", 0.2, 1.0), ("A", 0.4, 1.0),
+            ("B", 0.6, 1.0),
+        )
+        handle = cluster.start(iter(stream), engine=engine)
+        try:
+            assert not handle.advance(pause_at=0.5)
+            for machine in handle.machines:
+                assert type(machine.jobs) is JobQueue
+            assert handle.advance()
+        finally:
+            handle.close()

@@ -160,3 +160,132 @@ def test_baseline_entry_without_fast_s_fails(tmp_path, capsys):
     )
     assert compare_bench.main([str(results), str(baseline)]) == 1
     assert "no fast_s" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The --scale gate (perf point 2: bench_scale.py payloads).
+# ----------------------------------------------------------------------
+
+SCALE_POINT = {
+    "point": 2,
+    "benchmarks": BASELINE_POINT["benchmarks"],
+    "scale": {
+        "max_shard_overhead": 1.5,
+        "tracemalloc_ceiling_mb": 16.0,
+        "rss_ceiling_mb": 80.0,
+        "max_heap_growth": 3.0,
+    },
+}
+
+
+def scale_case(n_jobs, *, sharded_s=None, heap_mb=2.2, rss_mb=34.0,
+               completed=None):
+    wall_s = n_jobs / 40_000
+    return {
+        "n_jobs": n_jobs,
+        "wall_s": wall_s,
+        "sharded_s": wall_s * 1.05 if sharded_s is None else sharded_s,
+        "shards": 8,
+        "completed": n_jobs if completed is None else completed,
+        "jobs_per_s": 40_000,
+        "tracemalloc_peak_mb": heap_mb,
+        "peak_rss_mb": rss_mb,
+    }
+
+
+def write_scale(path: Path, cases: list[dict]):
+    path.write_text(json.dumps({"config": {}, "cases": cases}))
+
+
+def test_scale_only_invocation_passes(tmp_path, capsys):
+    """--scale works without a pytest-benchmark results file."""
+    baseline = tmp_path / "baseline.json"
+    scale = tmp_path / "scale.json"
+    write_baseline(baseline, [SCALE_POINT])
+    write_scale(scale, [scale_case(100_000), scale_case(1_000_000)])
+    assert compare_bench.main(
+        [str(baseline), "--scale", str(scale)]
+    ) == 0
+    assert "scale smoke ok" in capsys.readouterr().out
+
+
+def test_scale_gate_composes_with_perf_gate(tmp_path):
+    """Both positional results and --scale in one invocation."""
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    scale = tmp_path / "scale.json"
+    write_results(
+        results,
+        {"saturated_demo": {"legacy": 1.0, "fast": 0.25, "compiled": 0.1}},
+    )
+    write_baseline(baseline, [SCALE_POINT])
+    write_scale(scale, [scale_case(100_000)])
+    assert compare_bench.main(
+        [str(results), str(baseline), "--scale", str(scale)]
+    ) == 0
+
+
+def test_scale_shard_overhead_regression_fails(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    scale = tmp_path / "scale.json"
+    write_baseline(baseline, [SCALE_POINT])
+    write_scale(
+        scale, [scale_case(100_000, sharded_s=100_000 / 40_000 * 2.0)]
+    )
+    assert compare_bench.main(
+        [str(baseline), "--scale", str(scale)]
+    ) == 1
+    assert "shard overhead" in capsys.readouterr().err
+
+
+def test_scale_memory_ceiling_regression_fails(tmp_path, capsys):
+    """A heap peak past the committed ceiling fails — the constant-
+    memory contract, gated absolutely."""
+    baseline = tmp_path / "baseline.json"
+    scale = tmp_path / "scale.json"
+    write_baseline(baseline, [SCALE_POINT])
+    write_scale(scale, [scale_case(100_000, heap_mb=64.0)])
+    assert compare_bench.main(
+        [str(baseline), "--scale", str(scale)]
+    ) == 1
+    assert "heap peak" in capsys.readouterr().err
+
+
+def test_scale_flatness_regression_fails(tmp_path, capsys):
+    """Heap growing with the job count — even under the ceiling — is a
+    streaming regression (completed jobs being retained again)."""
+    baseline = tmp_path / "baseline.json"
+    scale = tmp_path / "scale.json"
+    write_baseline(baseline, [SCALE_POINT])
+    write_scale(
+        scale,
+        [
+            scale_case(100_000, heap_mb=2.0),
+            scale_case(1_000_000, heap_mb=12.0),
+        ],
+    )
+    assert compare_bench.main(
+        [str(baseline), "--scale", str(scale)]
+    ) == 1
+    assert "flatness" in capsys.readouterr().err
+
+
+def test_scale_truncated_run_fails(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    scale = tmp_path / "scale.json"
+    write_baseline(baseline, [SCALE_POINT])
+    write_scale(scale, [scale_case(100_000, completed=99_000)])
+    assert compare_bench.main(
+        [str(baseline), "--scale", str(scale)]
+    ) == 1
+    assert "completed" in capsys.readouterr().err
+
+
+def test_scale_block_missing_fails_with_clear_message(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    scale = tmp_path / "scale.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    write_scale(scale, [scale_case(100_000)])
+    with pytest.raises(SystemExit) as excinfo:
+        compare_bench.main([str(baseline), "--scale", str(scale)])
+    assert "records no scale block" in str(excinfo.value)

@@ -380,3 +380,80 @@ class TestRateCacheStore:
         total = store.stats()
         assert total.misses == 2
         assert total.hits == 1
+
+
+class TestAtomicDumpDurability:
+    """The crash-safety ordering of ``_atomic_dump``: temp-file fsync,
+    then the rename, then the directory fsync — the sequence that lets
+    checkpoint restores trust whatever file they find."""
+
+    def test_fsync_file_then_replace_then_fsync_dir(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+        import stat
+
+        from repro.microarch.rate_cache import _atomic_dump
+
+        events: list[str] = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            kind = (
+                "dir"
+                if stat.S_ISDIR(os.fstat(fd).st_mode)
+                else "file"
+            )
+            events.append(f"fsync:{kind}")
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        target = tmp_path / "out.json"
+        _atomic_dump(target, lambda fp: fp.write('{"ok": true}'))
+        assert events == ["fsync:file", "replace", "fsync:dir"]
+        assert json.loads(target.read_text()) == {"ok": True}
+
+    def test_failed_write_leaves_existing_file_and_no_temp(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.microarch.rate_cache import _atomic_dump
+
+        target = tmp_path / "out.json"
+        target.write_text('{"old": 1}')
+
+        def spy_replace(src, dst):  # pragma: no cover - must not run
+            raise AssertionError("rename must not happen on failure")
+
+        monkeypatch.setattr(os, "replace", spy_replace)
+        with pytest.raises(RuntimeError, match="disk full"):
+            _atomic_dump(
+                target,
+                lambda fp: (_ for _ in ()).throw(RuntimeError("disk full")),
+            )
+        assert json.loads(target.read_text()) == {"old": 1}
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_fsync_failure_cleans_up_the_temp_file(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.microarch.rate_cache import _atomic_dump
+
+        def failing_fsync(fd):
+            raise OSError("no durability today")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        target = tmp_path / "out.json"
+        with pytest.raises(OSError, match="no durability"):
+            _atomic_dump(target, lambda fp: fp.write("{}"))
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []

@@ -32,10 +32,31 @@ the speedup floor.
 Both tolerances are deliberately generous: only a wholesale regression
 — the kind the engine rewrites exist to prevent — should trip them.
 
+With ``--scale`` the gate additionally (or instead — the positional
+results file is optional) checks a ``benchmarks/bench_scale.py --json``
+payload against the committed trajectory point's ``scale`` block
+(perf point 2):
+
+* **shard overhead** — ``sharded_s / wall_s`` per case must stay under
+  the committed ``max_shard_overhead``.  Like the speedup floor this
+  is a same-machine ratio, so it is hardware-independent.
+* **memory ceilings** — each case's ``tracemalloc_peak_mb`` and
+  ``peak_rss_mb`` must stay under the committed ceilings.  Peak memory
+  is a property of the code, not the machine speed, so these are
+  absolute.
+* **flatness** — with two or more cases, the largest case's peak heap
+  over the smallest case's must stay under ``max_heap_growth``: the
+  streaming-metrics contract that 10x the jobs must not cost 10x the
+  memory.
+* **completion** — every case must complete exactly its ``n_jobs``
+  (a silently truncated run would make every other number meaningless).
+
 Usage::
 
     python tools/compare_bench.py results/bench_hotpath.json \
         BENCH_CORE.json --tolerance 2.0 --min-speedup 1.3
+    python tools/compare_bench.py BENCH_CORE.json \
+        --scale results/bench_scale.json
 """
 
 from __future__ import annotations
@@ -91,14 +112,130 @@ def latest_benchmarks(baseline_path: Path) -> dict[str, dict]:
     return benchmarks
 
 
+def latest_scale(baseline_path: Path) -> dict:
+    """The most recent trajectory point's ``scale`` block (committed
+    shard-overhead bound, memory ceilings, and reference cases)."""
+    try:
+        payload = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read baseline {baseline_path}: {exc}")
+    trajectory = payload.get("trajectory") or []
+    if not trajectory:
+        raise SystemExit(
+            f"baseline {baseline_path} has an empty trajectory — "
+            "nothing to compare"
+        )
+    scale = trajectory[-1].get("scale")
+    if not scale:
+        raise SystemExit(
+            f"baseline {baseline_path} trajectory point "
+            f"{trajectory[-1].get('point')} records no scale block — "
+            "refresh it with benchmarks/bench_scale.py --json"
+        )
+    return scale
+
+
+def check_scale(scale_path: Path, baseline_path: Path) -> list[str]:
+    """Scale-out gate; returns failure descriptions (empty = pass)."""
+    committed = latest_scale(baseline_path)
+    try:
+        cases = json.loads(scale_path.read_text()).get("cases") or []
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read scale results {scale_path}: {exc}")
+    if not cases:
+        raise SystemExit(f"scale results {scale_path} contain no cases")
+
+    max_overhead = committed["max_shard_overhead"]
+    heap_ceiling = committed["tracemalloc_ceiling_mb"]
+    rss_ceiling = committed["rss_ceiling_mb"]
+    failures: list[str] = []
+    for case in cases:
+        n_jobs = case["n_jobs"]
+        label = f"scale[{n_jobs:,} jobs]"
+        overhead = case["sharded_s"] / case["wall_s"]
+        checks = [
+            (
+                overhead <= max_overhead,
+                f"shard overhead x{overhead:.2f} (max x{max_overhead})",
+            ),
+            (
+                case["tracemalloc_peak_mb"] <= heap_ceiling,
+                f"heap peak {case['tracemalloc_peak_mb']:.1f} MB "
+                f"(ceiling {heap_ceiling} MB)",
+            ),
+            (
+                case["peak_rss_mb"] <= rss_ceiling,
+                f"rss peak {case['peak_rss_mb']:.1f} MB "
+                f"(ceiling {rss_ceiling} MB)",
+            ),
+            (
+                case["completed"] == n_jobs,
+                f"completed {case['completed']:,}/{n_jobs:,}",
+            ),
+        ]
+        bad = [text for ok, text in checks if not ok]
+        verdict = "ok" if not bad else "REGRESSED"
+        detail = "   ".join(text for _, text in checks)
+        print(f"{label:26s} {detail}   {verdict}")
+        failures.extend(f"{label}: {text}" for text in bad)
+
+    if len(cases) > 1:
+        max_growth = committed["max_heap_growth"]
+        peaks = [c["tracemalloc_peak_mb"] for c in cases]
+        jobs = [c["n_jobs"] for c in cases]
+        growth = max(peaks) / min(peaks)
+        jobs_growth = max(jobs) / min(jobs)
+        flat = growth <= max_growth
+        print(
+            f"{'scale[flatness]':26s} {jobs_growth:.0f}x the jobs cost "
+            f"{growth:.2f}x the peak heap (max {max_growth}x)   "
+            f"{'ok' if flat else 'REGRESSED'}"
+        )
+        if not flat:
+            failures.append(
+                f"scale[flatness]: heap grew {growth:.2f}x over a "
+                f"{jobs_growth:.0f}x job range (max {max_growth}x)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("results", type=Path, help="pytest-benchmark JSON")
+    parser.add_argument(
+        "results",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="pytest-benchmark JSON (optional with --scale)",
+    )
     parser.add_argument("baseline", type=Path, help="BENCH_CORE.json")
     parser.add_argument("--tolerance", type=float, default=2.0)
     parser.add_argument("--min-speedup", type=float, default=1.3)
     parser.add_argument("--max-machine-factor", type=float, default=2.0)
+    parser.add_argument(
+        "--scale",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="bench_scale.py --json payload to gate against the "
+        "committed scale block",
+    )
     args = parser.parse_args(argv)
+
+    if args.results is None and args.scale is None:
+        parser.error("nothing to compare: give a results file, --scale, "
+                     "or both")
+
+    if args.scale is not None:
+        scale_failures = check_scale(args.scale, args.baseline)
+        if scale_failures:
+            for failure in scale_failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            print("scale smoke FAILED", file=sys.stderr)
+            return 1
+        print("scale smoke ok")
+        if args.results is None:
+            return 0
 
     measured = parse_results(args.results)
     committed = latest_benchmarks(args.baseline)
