@@ -1,0 +1,119 @@
+"""Benchmark: the estimation layer (oracle vs. estimated rate runs).
+
+Times a reduced policy tournament — oracle vs. estimated
+MAXIT/SRPT/affinity on paired arrival streams — and, separately, one
+matched (oracle, estimated) run pair so the estimation layer's
+overhead is visible as a same-machine ratio.  The assertions pin the
+layer's contracts: every zero-noise cell is exactly degradation-free
+(the bit-identity control), noisy runs actually observe and
+re-optimize, and the estimated-mode overhead stays within a generous
+bound (the observation feed plus periodic re-solves must not dominate
+the event core).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.workload import Workload
+from repro.experiments.common import sample_workloads
+from repro.experiments.policy_tournament import POLICIES, compute_tournament
+from repro.queueing.cluster import Cluster
+from repro.queueing.dispatch import make_dispatcher
+from repro.queueing.estimation import EstimationConfig
+from repro.queueing.hotpath import synthetic_rates
+from repro.queueing.scenarios import get_scenario
+from repro.queueing.schedulers import make_scheduler
+
+#: Estimated-mode wall time over oracle wall time, same machine, same
+#: stream.  Generous: only a wholesale regression (e.g. re-solving the
+#: LP per event instead of per round) should trip it.
+MAX_ESTIMATION_OVERHEAD = 5.0
+
+
+def bench(context):
+    workload = sample_workloads(context.workloads, 1, seed=5)[0]
+    return compute_tournament(
+        context.smt_rates,
+        workload,
+        scenarios=[
+            get_scenario("baseline_poisson"),
+            get_scenario("saturated_backlog"),
+        ],
+        noise_levels=(0.0, 0.4),
+        warmup_fracs=(0.0,),
+        n_seeds=1,
+        n_jobs=160,
+        seed=0,
+    )
+
+
+def test_tournament(benchmark, context):
+    result = benchmark.pedantic(
+        bench, args=(context,), rounds=1, iterations=1
+    )
+    cells = result["cells"]
+    assert len(cells) == 2 * len(POLICIES) * 2  # scenarios x policies x noise
+    for cell in cells:
+        if cell.noise == 0.0:
+            # The control: zero noise + warm prior is bit-identical.
+            assert cell.tp_degradation == 0.0, cell
+            assert cell.est_completed == cell.oracle_completed, cell
+        else:
+            stats = cell.estimator
+            assert stats is not None and stats["observations"] > 0, cell
+    assert result["summary"], "summary rows must aggregate the cells"
+
+
+def _run_pair():
+    """One matched (oracle, estimated) run; returns their wall times."""
+    rates, names = synthetic_rates(n_types=4, contexts=3)
+    workload = Workload.of(*names)
+
+    def run(rate_source, estimation):
+        jobs = list(
+            get_scenario("saturated_backlog").build_jobs(
+                names, mean_rate=0.0, seed=9, n_jobs=400
+            )
+        )
+        cluster = Cluster(
+            rates,
+            [
+                make_scheduler("maxit", rates, 3, workload=workload)
+                for _ in range(2)
+            ],
+            make_dispatcher("jsq"),
+        )
+        start = time.perf_counter()
+        metrics = cluster.run(
+            jobs,
+            stop_when_fewer_than=6,
+            keep_in_system=10,
+            rate_source=rate_source,
+            estimation=estimation,
+        )
+        return time.perf_counter() - start, metrics
+
+    oracle_s, oracle_metrics = run("oracle", None)
+    estimated_s, est_metrics = run(
+        "estimated",
+        EstimationConfig(
+            noise=0.3, prior="single_run", reopt_observations=32, seed=2
+        ),
+    )
+    # The saturated stop rule leaves the trailing backlog in-system.
+    assert oracle_metrics.completed >= 350
+    assert est_metrics.completed >= 350
+    return oracle_s, estimated_s
+
+
+def test_estimation_overhead(benchmark):
+    oracle_s, estimated_s = benchmark.pedantic(
+        _run_pair, rounds=1, iterations=1
+    )
+    overhead = estimated_s / oracle_s
+    assert overhead <= MAX_ESTIMATION_OVERHEAD, (
+        f"estimated-mode run took {overhead:.2f}x the oracle run "
+        f"(bound {MAX_ESTIMATION_OVERHEAD}x) — the observation feed or "
+        "re-optimization rounds have regressed"
+    )

@@ -18,6 +18,7 @@ __all__ = [
     "SolverError",
     "SimulationError",
     "WorkloadError",
+    "EstimationError",
 ]
 
 
@@ -55,3 +56,8 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """An invalid workload specification (unknown types, bad counts...)."""
+
+
+class EstimationError(ReproError):
+    """An invalid estimated-rate configuration (e.g. a dispatcher that
+    consumes rates but never refreshes them from observations)."""

@@ -50,12 +50,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import EstimationError, SimulationError
 from repro.microarch.codec import TypeCodec
 from repro.microarch.rates import RateSource
 from repro.queueing.dispatch import Dispatcher
+from repro.queueing.estimation import EstimationConfig, ThroughputEstimator
 from repro.queueing.job import Job
 from repro.queueing.ratememo import RunRateMemo
 from repro.queueing.schedulers import Scheduler
@@ -233,6 +234,9 @@ class Machine:
     metrics: SystemMetrics = field(default_factory=SystemMetrics)
     dirty: bool = True
     epoch: int = 0
+    #: Estimated-rate runs install the estimator's observation feed
+    #: here; called once per positive-span sync of a busy machine.
+    rate_observer: Callable[[tuple[str, ...], float], None] | None = None
 
     def __post_init__(self) -> None:
         # Normalize whatever iterable the caller handed in: every
@@ -345,6 +349,9 @@ class Machine:
                 measured, self.coschedule, len(self.jobs), work * fraction
             )
         self.scheduler.observe(self.coschedule, span)
+        observer = self.rate_observer
+        if observer is not None and span > 0.0 and self.coschedule:
+            observer(self.coschedule, span)
         self.last_sync = new_clock
 
     def admit(self, job: Job) -> None:
@@ -496,6 +503,10 @@ class Cluster:
         #: :meth:`repro.queueing.compiled.CompiledEngineStats.as_dict`);
         #: ``None`` before any run and after legacy/fast runs.
         self.last_engine_stats: dict[str, object] | None = None
+        #: Estimator summary of the last run (see
+        #: :meth:`repro.queueing.estimation.ThroughputEstimator.stats_dict`);
+        #: ``None`` before any run and after oracle runs.
+        self.last_estimator_stats: dict[str, object] | None = None
 
     @property
     def n_machines(self) -> int:
@@ -516,6 +527,8 @@ class Cluster:
         backend: str | None = None,
         engine_options: dict[str, bool] | None = None,
         pick_log: list | None = None,
+        rate_source: str = "oracle",
+        estimation: EstimationConfig | None = None,
     ) -> ClusterMetrics:
         """Run the cluster to completion and return per-machine metrics.
 
@@ -560,6 +573,18 @@ class Cluster:
                 ``(machine_id, (job_id, ...))`` entry per scheduling
                 decision, in decision order — the pick-sequence trace
                 the differential harness compares across engines.
+            rate_source: what the *policies* (schedulers and the
+                dispatcher) see — job stepping always uses the true
+                rates.  ``"oracle"`` is today's behavior; with
+                ``"estimated"`` every policy decision reads a
+                :class:`~repro.queueing.estimation.ThroughputEstimator`
+                fed by the run's own observed progress.  With zero
+                noise and the warm ``"oracle"`` prior, estimated runs
+                are bit-identical to oracle runs (pinned by the
+                differential harness).
+            estimation: estimator knobs for ``rate_source="estimated"``
+                (:class:`~repro.queueing.estimation.EstimationConfig`;
+                ``None`` → defaults).
         """
         handle = self.start(
             arrivals,
@@ -573,6 +598,8 @@ class Cluster:
             backend=backend,
             engine_options=engine_options,
             pick_log=pick_log,
+            rate_source=rate_source,
+            estimation=estimation,
         )
         try:
             handle.advance()
@@ -594,6 +621,8 @@ class Cluster:
         backend: str | None = None,
         engine_options: dict[str, bool] | None = None,
         pick_log: list | None = None,
+        rate_source: str = "oracle",
+        estimation: EstimationConfig | None = None,
     ) -> "ClusterRunHandle":
         """Begin a pausable run; same knobs as :meth:`run`.
 
@@ -616,6 +645,8 @@ class Cluster:
             backend=backend,
             engine_options=engine_options,
             pick_log=pick_log,
+            rate_source=rate_source,
+            estimation=estimation,
         )
 
     def _event_loop(
@@ -921,6 +952,8 @@ class ClusterRunHandle:
         backend: str | None = None,
         engine_options: dict[str, bool] | None = None,
         pick_log: list | None = None,
+        rate_source: str = "oracle",
+        estimation: EstimationConfig | None = None,
     ) -> None:
         if engine is None:
             engine = "fast" if fast_path else "legacy"
@@ -929,10 +962,52 @@ class ClusterRunHandle:
                 f"unknown engine {engine!r}; choose legacy, fast, "
                 "or compiled"
             )
+        if rate_source not in ("oracle", "estimated"):
+            raise SimulationError(
+                f"unknown rate_source {rate_source!r}; choose oracle "
+                "or estimated"
+            )
         self.cluster = cluster
         self.engine = engine
+        self.rate_source = rate_source
         fast = engine != "legacy"
         self.memo = RunRateMemo(cluster.rates, compiled=fast)
+        #: Estimated-rate state: the estimator (fed by every machine's
+        #: sync) and the policy-side memo over its published estimates.
+        #: Both ``None`` on oracle runs.  Stepping always uses
+        #: ``self.memo`` (true rates) — only decisions see estimates.
+        self.estimator: ThroughputEstimator | None = None
+        self.policy_memo: RunRateMemo | None = None
+        if rate_source == "estimated":
+            foreign = sorted(
+                {
+                    s.name
+                    for s in cluster.schedulers
+                    if s.rates is not cluster.rates
+                }
+            )
+            if foreign:
+                raise EstimationError(
+                    "rate_source='estimated' needs every scheduler "
+                    "probing the cluster's own rate source so it can "
+                    f"be rebound to the estimates; {foreign} probe a "
+                    "different source and would silently keep reading "
+                    "oracle rates"
+                )
+            if cluster.dispatcher.uses_rates and not callable(
+                getattr(cluster.dispatcher, "rebuild", None)
+            ):
+                raise EstimationError(
+                    f"dispatcher {cluster.dispatcher.name!r} consumes "
+                    "rates but has no rebuild() hook: its oracle-built "
+                    "tables would never refresh from observations.  "
+                    "Implement rebuild(rates) or run with "
+                    "rate_source='oracle'"
+                )
+            self.estimator = ThroughputEstimator(self.memo, estimation)
+            self.policy_memo = RunRateMemo(
+                self.estimator, compiled=fast, codec=self.memo.codec
+            )
         self.machines = [
             Machine(machine_id=i, scheduler=s)
             for i, s in enumerate(cluster.schedulers)
@@ -990,14 +1065,50 @@ class ClusterRunHandle:
         self._rebound = [
             s for s in cluster.schedulers if s.rates is cluster.rates
         ]
+        probe_source = (
+            self.policy_memo if self.policy_memo is not None else self.memo
+        )
         for scheduler in self._rebound:
-            scheduler.bind_rates(self.memo)
+            scheduler.bind_rates(probe_source)
         # Dispatchers with per-type state (the affinity policy) flatten
         # it onto the run's type ids; unbound on close so a later run —
         # whose codec may assign different ids — starts clean.
         self._bind_codec = getattr(cluster.dispatcher, "bind_codec", None)
         if self._bind_codec is not None and fast:
             self._bind_codec(self.memo.codec)
+        # Estimated mode: wire the observation feed into every machine,
+        # start every offline-solved policy from the estimator's priors
+        # (estimated runs must not inherit oracle-built tables), and
+        # register the re-optimization round fired at each publish.
+        self._dispatcher_rebuild = None
+        if self.estimator is not None:
+            for machine in self.machines:
+                machine.rate_observer = self.estimator.observe_interval
+            policy_memo = self.policy_memo
+            rebound = self._rebound
+            rebuild = (
+                cluster.dispatcher.rebuild
+                if cluster.dispatcher.uses_rates
+                else None
+            )
+            self._dispatcher_rebuild = rebuild
+            for scheduler in rebound:
+                scheduler.reoptimize(policy_memo)
+            if rebuild is not None:
+                rebuild(policy_memo)
+
+            def _reoptimize(_estimator: ThroughputEstimator) -> None:
+                # New epoch published: every memoized estimate is
+                # stale.  Flush the policy memo (codec survives, so
+                # queue indexes stay valid) and re-solve the offline
+                # policies against the fresh estimates.
+                policy_memo.clear()
+                for scheduler in rebound:
+                    scheduler.reoptimize(policy_memo)
+                if rebuild is not None:
+                    rebuild(policy_memo)
+
+            self.estimator.add_listener(_reoptimize)
 
     @property
     def jobs_pulled(self) -> int:
@@ -1096,6 +1207,17 @@ class ClusterRunHandle:
             scheduler.bind_rates(self.cluster.rates)
         if self._bind_codec is not None:
             self._bind_codec(None)
+        if self.estimator is not None:
+            # Restore the oracle-built policy state (schedulers and
+            # dispatchers outlive runs): the re-solves are
+            # deterministic in the true rates, so this reproduces the
+            # constructed tables bit for bit.
+            for machine in self.machines:
+                machine.rate_observer = None
+            for scheduler in self._rebound:
+                scheduler.reoptimize(self.cluster.rates)
+            if self._dispatcher_rebuild is not None:
+                self._dispatcher_rebuild(self.cluster.rates)
         # Recorded even when a segment raises: a diagnostic path
         # catching the error should see this run's counters, not the
         # previous run's.
@@ -1103,6 +1225,11 @@ class ClusterRunHandle:
         self.cluster.last_engine_stats = (
             self.engine_stats.as_dict()
             if self.engine_stats is not None
+            else None
+        )
+        self.cluster.last_estimator_stats = (
+            self.estimator.stats_dict()
+            if self.estimator is not None
             else None
         )
 
@@ -1123,6 +1250,8 @@ def run_cluster(
     backend: str | None = None,
     engine_options: dict[str, bool] | None = None,
     pick_log: list | None = None,
+    rate_source: str = "oracle",
+    estimation: EstimationConfig | None = None,
 ) -> ClusterMetrics:
     """Build a :class:`Cluster` and run it once (convenience wrapper)."""
     cluster = Cluster(rates, schedulers, dispatcher)
@@ -1138,4 +1267,6 @@ def run_cluster(
         backend=backend,
         engine_options=engine_options,
         pick_log=pick_log,
+        rate_source=rate_source,
+        estimation=estimation,
     )

@@ -191,6 +191,7 @@ class _MState:
         "kind",
         "observe",
         "zero_obs_safe",
+        "rate_observer",
         "age_ok",
         "last_codes_key",
         "probe_cache",
@@ -210,6 +211,10 @@ class _MState:
         #: True when calling observe with dt=0 is a provable no-op
         #: (base hook or MAXTP's ``+= dt``), enabling zero-span fusion.
         self.zero_obs_safe: bool = True
+        #: the machine's rate-estimation feed (estimated-rate runs),
+        #: or None.  Only ever called with span > 0, so zero-span
+        #: fusion never needs it.
+        self.rate_observer: Callable | None = None
         #: True while the job list is (arrival, id)-sorted, letting
         #: age-ordered picks slice queue pools without sorting.
         self.age_ok: bool = True
@@ -246,6 +251,7 @@ def _prepare_state(
         if observe is not Scheduler.observe:
             ms.observe = scheduler.observe
             ms.zero_obs_safe = observe is MaxTpScheduler.observe
+        ms.rate_observer = machine.rate_observer
         # Specialize only schedulers probing *this run's* memo — one
         # probing a counterfactual source must keep doing exactly that
         # through its own ``select``.
@@ -455,6 +461,8 @@ def run_compiled(
             )
         if ms.observe is not None:
             ms.observe(machine.coschedule, span)
+        if ms.rate_observer is not None and span > 0.0 and machine.coschedule:
+            ms.rate_observer(machine.coschedule, span)
         machine.last_sync = new_clock
 
     def probe_for(

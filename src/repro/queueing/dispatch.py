@@ -57,6 +57,13 @@ class Dispatcher(ABC):
     """Base class: picks the target machine for each admitted job."""
 
     name: str = "base"
+    #: True for policies whose routing consumes symbiosis rates (via an
+    #: offline solve or live probing).  Estimated-rate runs require such
+    #: a dispatcher to also implement ``rebuild(rates)`` so its tables
+    #: refresh at every re-optimization round — a rate-consuming
+    #: dispatcher without the hook is rejected up front rather than
+    #: silently routing on stale oracle state.
+    uses_rates: bool = False
 
     @abstractmethod
     def route(
@@ -175,6 +182,7 @@ class SymbiosisAffinityDispatcher(Dispatcher):
     """
 
     name = "affinity"
+    uses_rates = True
 
     def __init__(
         self,
@@ -187,8 +195,32 @@ class SymbiosisAffinityDispatcher(Dispatcher):
     ) -> None:
         if slack < 0:
             raise WorkloadError(f"slack must be non-negative, got {slack}")
+        self.workload = workload
+        self.slack = slack
+        self._contexts = contexts
+        self._backend = backend
+        # Compiled per-run view: the affinity table flattened onto the
+        # run codec's type ids (row-major n x n list-of-lists), so the
+        # per-queue scoring loop is two list indexes per queued job
+        # instead of a string-tuple dict probe.  Bound by the cluster
+        # at run start, cleared at run end.
+        self._matrix: list[list[float]] | None = None
+        self._codec: TypeCodec | None = None
+        self.rebuild(rates)
+
+    def rebuild(self, rates: RateSource) -> None:
+        """(Re-)solve the offline LP against ``rates`` and rebuild the
+        affinity table.
+
+        Called once at construction, and by the estimation layer at
+        every re-optimization round with the current estimates (then
+        once more with the true source when the run ends, restoring
+        the constructed state — the solve is deterministic in its
+        inputs).  A bound run codec re-flattens immediately.
+        """
         schedule = optimal_throughput(
-            rates, workload, contexts=contexts, backend=backend
+            rates, self.workload, contexts=self._contexts,
+            backend=self._backend,
         )
         self.fractions: dict[tuple[str, ...], float] = dict(schedule.fractions)
         affinity: dict[tuple[str, str], float] = {}
@@ -202,13 +234,8 @@ class SymbiosisAffinityDispatcher(Dispatcher):
                             affinity.get((a, b), 0.0) + fraction * co_runners
                         )
         self.affinity = affinity
-        self.slack = slack
-        # Compiled per-run view: the affinity table flattened onto the
-        # run codec's type ids (row-major n x n list-of-lists), so the
-        # per-queue scoring loop is two list indexes per queued job
-        # instead of a string-tuple dict probe.  Bound by the cluster
-        # at run start, cleared at run end.
-        self._matrix: list[list[float]] | None = None
+        if self._codec is not None:
+            self._flatten(self._codec)
 
     def bind_codec(self, codec: TypeCodec | None) -> None:
         """Flatten the affinity table onto the run's type ids.
@@ -218,9 +245,13 @@ class SymbiosisAffinityDispatcher(Dispatcher):
         matrix and score 0.0 — exactly the ``dict.get`` default of the
         string path.
         """
+        self._codec = codec
         if codec is None:
             self._matrix = None
             return
+        self._flatten(codec)
+
+    def _flatten(self, codec: TypeCodec) -> None:
         for a, b in self.affinity:
             codec.encode(a)
             codec.encode(b)

@@ -217,12 +217,23 @@ class RunRateMemo:
             coschedules + flat rate arrays).  ``False`` reproduces the
             PR-2 string path exactly — used by the equivalence
             property tests and the before/after profiler.
+        codec: share another memo's :class:`TypeCodec` instead of
+            creating a fresh one.  The estimated-rate path runs two
+            memos per run (true rates for stepping, estimates for
+            policy decisions) and must intern types identically so
+            queue indexes built against one memo's codec serve both.
     """
 
-    def __init__(self, source: RateSource, *, compiled: bool = True) -> None:
+    def __init__(
+        self,
+        source: RateSource,
+        *,
+        compiled: bool = True,
+        codec: TypeCodec | None = None,
+    ) -> None:
         self.source = source
         self.compiled = compiled
-        self.codec = TypeCodec()
+        self.codec = codec if codec is not None else TypeCodec()
         self.stats = CacheStats(label="run-memo")
         self._type_rates: dict[tuple[str, ...], dict[str, float]] = {}
         self._per_job: dict[tuple[str, ...], dict[str, float]] = {}
@@ -419,6 +430,19 @@ class RunRateMemo:
         if cached is not None:
             self.stats.hits += 1
         return cached
+
+    def clear(self) -> None:
+        """Flush every memoized rate layer, keeping the codec.
+
+        The estimation layer calls this when the estimator publishes a
+        new epoch of rates: all cached floats are stale, but interned
+        type ids (and therefore any queue index keyed on the codec)
+        stay valid, so only the rate-derived layers are dropped.
+        """
+        self._type_rates.clear()
+        self._per_job.clear()
+        self._compiled.clear()
+        self._probes.clear()
 
     # ------------------------------------------------------------------
     # Introspection

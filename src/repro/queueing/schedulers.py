@@ -193,6 +193,16 @@ class Scheduler(ABC):
         """
         self.rates = rates
 
+    def reoptimize(self, rates: RateSource) -> None:
+        """Hook: refresh any offline-solved policy state from ``rates``.
+
+        Fired by the estimation layer at every re-optimization round
+        (and once at run start / run end with the estimated / true
+        source respectively).  Policies without an offline phase —
+        FCFS, MAXIT, SRPT probe their bound source live — have nothing
+        to refresh; MAXTP re-solves its LP.
+        """
+
     def _run_memo(self) -> RunRateMemo | None:
         """The bound compiled run memo, if probing should take the
         interned-type fast path (``None`` → legacy string probing:
@@ -434,6 +444,7 @@ class MaxTpScheduler(Scheduler):
     ) -> None:
         super().__init__(rates, contexts)
         self.workload = workload
+        self._backend = backend
         schedule = optimal_throughput(
             rates, workload, contexts=contexts, backend=backend
         )
@@ -481,6 +492,26 @@ class MaxTpScheduler(Scheduler):
         """Rebind both this scheduler and its MAXIT fallback."""
         super().bind_rates(rates)
         self._fallback.bind_rates(rates)
+
+    def reoptimize(self, rates: RateSource) -> None:
+        """Re-solve the offline LP against ``rates`` (the estimation
+        layer's re-optimization round), keeping the run's deficit
+        accounting for targets that survive the re-solve.
+
+        With bit-identical inputs (zero-noise estimates warm-started
+        at the truth) the solve is deterministic, so the refreshed
+        fractions — and every subsequent deficit — are unchanged.
+        """
+        schedule = optimal_throughput(
+            rates,
+            self.workload,
+            contexts=self.contexts,
+            backend=self._backend,
+        )
+        fractions = dict(schedule.fractions)
+        self.time_in = {s: self.time_in.get(s, 0.0) for s in fractions}
+        self.target_fractions = fractions
+        self._coded_targets = None
 
     def _deficit(self, coschedule: tuple[str, ...]) -> float:
         target = self.target_fractions[coschedule]

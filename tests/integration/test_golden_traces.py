@@ -306,6 +306,181 @@ class TestGoldenTraces:
 
 
 # ----------------------------------------------------------------------
+# Estimated-rate goldens: noisy-estimator runs pinned bit for bit.
+# ----------------------------------------------------------------------
+#: Three (scenario, dispatcher, noise, noise-seed) cells run with
+#: ``rate_source="estimated"``: a realistic cold start (single_run
+#: prior), nonzero observation noise from the pinned noise seed, and
+#: frequent re-optimization rounds.  They freeze the *whole* estimated
+#: stack — observation wiring, the noise RNG stream, EMA updates,
+#: epoch publishing, and the re-optimization refresh of schedulers and
+#: (for the affinity cell) the dispatcher's LP tables.  Like every
+#: other golden, each replays through both engines against one
+#: expectation file.
+ESTIMATED_CELLS = (
+    ("baseline_poisson", "round_robin", 0.3, 11),
+    ("skewed_types", "jsq", 0.15, 23),
+    ("heavy_tail", "affinity", 0.4, 37),
+)
+ESTIMATED_REOPT = 16
+
+
+def estimated_golden_path(scenario: str, dispatcher: str) -> Path:
+    return GOLDEN_DIR / f"estimated__{scenario}__{dispatcher}.json"
+
+
+def run_estimated_golden(
+    jobs: list[Job],
+    scenario_name: str,
+    dispatcher: str,
+    noise: float,
+    noise_seed: int,
+    engine: str | None = None,
+) -> ClusterMetrics:
+    """The frozen estimated-rate configuration of a golden cell."""
+    from repro.queueing.estimation import EstimationConfig
+
+    scenario = get_scenario(scenario_name)
+    schedulers = [
+        make_scheduler(
+            "maxtp", GOLDEN_RATES, GOLDEN_CONTEXTS,
+            workload=GOLDEN_WORKLOAD,
+        )
+        for _ in range(GOLDEN_MACHINES)
+    ]
+    return run_cluster(
+        GOLDEN_RATES,
+        schedulers,
+        make_dispatcher(
+            dispatcher,
+            rates=GOLDEN_RATES,
+            workload=GOLDEN_WORKLOAD,
+            contexts=GOLDEN_CONTEXTS,
+        ),
+        jobs,
+        stop_when_fewer_than=(
+            GOLDEN_MACHINES * GOLDEN_CONTEXTS
+            if scenario.saturated
+            else None
+        ),
+        keep_in_system=(
+            scenario.backlog_per_machine if scenario.saturated else None
+        ),
+        engine=engine,
+        rate_source="estimated",
+        estimation=EstimationConfig(
+            noise=noise,
+            prior="single_run",
+            reopt_observations=ESTIMATED_REOPT,
+            seed=noise_seed,
+        ),
+    )
+
+
+class TestEstimatedGoldens:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize(
+        "scenario, dispatcher, noise, noise_seed",
+        ESTIMATED_CELLS,
+        ids=[f"{s}-{d}" for s, d, _, _ in ESTIMATED_CELLS],
+    )
+    def test_estimated_cell(
+        self, scenario, dispatcher, noise, noise_seed, engine, update_golden
+    ):
+        path = estimated_golden_path(scenario, dispatcher)
+        if update_golden:
+            if engine != ENGINES[0]:
+                mean_rate = golden_mean_rate(scenario)
+                reference = run_estimated_golden(
+                    build_golden_stream(scenario, mean_rate),
+                    scenario, dispatcher, noise, noise_seed,
+                )
+                metrics = run_estimated_golden(
+                    build_golden_stream(scenario, mean_rate),
+                    scenario, dispatcher, noise, noise_seed,
+                    engine=engine,
+                )
+                assert to_jsonable(metrics) == to_jsonable(reference)
+                return
+            mean_rate = golden_mean_rate(scenario)
+            jobs = build_golden_stream(scenario, mean_rate)
+            trace = trace_from_jobs(
+                jobs,
+                metadata={
+                    "scenario": scenario,
+                    "seed": GOLDEN_SEED,
+                    "mean_rate": mean_rate,
+                    "rate_source": "estimated",
+                },
+            )
+            metrics = run_estimated_golden(
+                jobs_from_trace(json.loads(json.dumps(trace))),
+                scenario, dispatcher, noise, noise_seed,
+            )
+            payload = {
+                "scenario": scenario,
+                "dispatcher": dispatcher,
+                "n_machines": GOLDEN_MACHINES,
+                "contexts": GOLDEN_CONTEXTS,
+                "seed": GOLDEN_SEED,
+                "mean_rate": mean_rate,
+                "noise": noise,
+                "noise_seed": noise_seed,
+                "prior": "single_run",
+                "reopt_observations": ESTIMATED_REOPT,
+                "trace": trace,
+                "expected": to_jsonable(metrics),
+            }
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden file {path.name}; run "
+                "`python -m pytest tests/integration/test_golden_traces.py "
+                "--update-golden` and commit the result"
+            )
+        golden = json.loads(path.read_text())
+
+        if engine == ENGINES[0]:
+            # Generator lock (same stream contract as the oracle pairs).
+            rebuilt = trace_from_jobs(
+                build_golden_stream(scenario, float(golden["mean_rate"])),
+                metadata=golden["trace"]["metadata"],
+            )
+            drift = diff_payload(golden["trace"], rebuilt)
+            if drift:
+                pytest.fail(
+                    f"[{path.name}] arrival-process drift — the generator "
+                    "no longer reproduces the committed trace:\n"
+                    + "\n".join(drift[:20])
+                    + "\n(run --update-golden only if this drift is "
+                    "intentional)"
+                )
+
+        # Engine lock over the full estimated stack.
+        metrics = run_estimated_golden(
+            jobs_from_trace(golden["trace"]),
+            scenario,
+            dispatcher,
+            float(golden["noise"]),
+            int(golden["noise_seed"]),
+            engine=engine,
+        )
+        drift = diff_payload(golden["expected"], to_jsonable(metrics))
+        if drift:
+            pytest.fail(
+                f"[{path.name}] estimated-stack drift — the {engine} "
+                "engine no longer reproduces the committed metrics:\n"
+                + "\n".join(drift[:20])
+                + "\n(run --update-golden only if this drift is "
+                "intentional)"
+            )
+
+
+# ----------------------------------------------------------------------
 # Hotpath saturated-workload goldens (perf-trajectory coverage).
 # ----------------------------------------------------------------------
 #: Reduced-size frozen replica of ``hotpath.saturated_cluster``: same

@@ -36,6 +36,7 @@ from repro.core.workload import Workload
 from repro.experiments.registry import to_jsonable
 from repro.queueing.cluster import Cluster
 from repro.queueing.dispatch import make_dispatcher
+from repro.queueing.estimation import EstimationConfig
 from repro.queueing.hotpath import synthetic_rates
 from repro.queueing.scenarios import get_scenario
 from repro.queueing.schedulers import make_scheduler
@@ -74,6 +75,11 @@ configs = st.fixed_dictionaries(
         "n_jobs": st.integers(min_value=1, max_value=60),
         "mean_rate": st.floats(min_value=0.5, max_value=8.0),
         "seed": st.integers(min_value=0, max_value=2**16),
+        # Rate-source axis: estimated mode (zero noise, warm oracle
+        # prior, frequent re-optimization rounds) must stay
+        # bit-identical across every engine — the estimation layer's
+        # two-memo plumbing is part of the equivalence contract.
+        "rate_source": st.sampled_from(("oracle", "estimated")),
         "knobs": st.sampled_from(
             (
                 {},
@@ -88,8 +94,14 @@ configs = st.fixed_dictionaries(
 )
 
 
-def run_config(config, engine, backend):
-    """One full cluster run; returns (metrics payload, pick log)."""
+def run_config(config, engine, backend, rate_source=None):
+    """One full cluster run; returns (metrics payload, pick log).
+
+    ``rate_source`` overrides the config's axis (defaulting to
+    "oracle" for configs without one).  Estimated runs use zero noise,
+    the warm oracle prior, and a small re-optimization interval, so
+    many re-optimization rounds fire even on short streams.
+    """
     contexts = config["contexts"]
     rates, names = synthetic_rates(
         n_types=config["n_types"], contexts=contexts
@@ -118,12 +130,21 @@ def run_config(config, engine, backend):
         ],
         make_dispatcher(config["dispatcher"], **dispatcher_kw),
     )
+    if rate_source is None:
+        rate_source = config.get("rate_source", "oracle")
+    estimation = (
+        EstimationConfig(noise=0.0, prior="oracle", reopt_observations=8)
+        if rate_source == "estimated"
+        else None
+    )
     picks: list[tuple[int, tuple[int, ...]]] = []
     metrics = cluster.run(
         jobs,
         engine=engine,
         backend=backend,
         pick_log=picks,
+        rate_source=rate_source,
+        estimation=estimation,
         **config["knobs"],
     )
     return to_jsonable(metrics), picks
@@ -204,3 +225,54 @@ class TestDifferentialEngines:
                 f"{label} pick sequence diverges from {reference_label} "
                 f"on {config}"
             )
+
+
+class TestEstimatedOracleIdentity:
+    """The zero-noise control: estimation must cost nothing.
+
+    With ``noise=0`` and the warm oracle prior, every EMA update
+    collapses to the true rate (``est + alpha*(true - est)`` is exact
+    when ``est == true``), so a re-optimization round re-solves
+    against the same numbers and every policy decision — pick
+    sequence and ClusterMetrics alike — must be bit-identical to the
+    oracle run, on every engine variant.  This pins the whole
+    estimated-mode plumbing (observation wiring, epoch publishing,
+    the policy-memo indirection) as a pure pass-through at zero
+    noise.
+    """
+
+    POLICIES = (
+        ("maxit", "round_robin"),
+        ("srpt", "jsq"),
+        ("maxit", "affinity"),
+        ("maxtp", "round_robin"),
+    )
+
+    @pytest.mark.parametrize("scheduler,dispatcher", POLICIES)
+    @pytest.mark.parametrize(
+        "label,engine,backend", ENGINE_VARIANTS,
+        ids=[v[0] for v in ENGINE_VARIANTS],
+    )
+    def test_estimated_matches_oracle(
+        self, scheduler, dispatcher, label, engine, backend
+    ):
+        config = {
+            "scenario": "skewed_types",
+            "scheduler": scheduler,
+            "dispatcher": dispatcher,
+            "n_machines": 2,
+            "contexts": 3,
+            "n_types": 4,
+            "n_jobs": 48,
+            "mean_rate": 3.0,
+            "seed": 1234,
+            "knobs": {},
+        }
+        oracle = run_config(config, engine, backend, rate_source="oracle")
+        estimated = run_config(
+            config, engine, backend, rate_source="estimated"
+        )
+        assert estimated == oracle, (
+            f"zero-noise estimated {scheduler}/{dispatcher} diverges "
+            f"from oracle on {label}"
+        )

@@ -1,0 +1,228 @@
+"""Hypothesis properties of the ThroughputEstimator.
+
+Three families of invariants, each one a guardrail the estimated-rate
+mode leans on:
+
+* **Convergence** — the EMA walks toward the true rate as observations
+  accumulate: with any noise, the expected estimate contracts toward
+  truth geometrically; with zero noise it is *exactly* truth after one
+  observation, and the mean relative error is non-increasing in the
+  observation count.
+* **Order invariance (commutative statistics)** — the estimator's
+  counting statistics (per-coschedule observation counts, the total,
+  confidence) depend only on the multiset of observed coschedules,
+  never on their order; zero-noise estimates are order-invariant too
+  (every update lands exactly on truth).  The EMA *value* under noise
+  is deliberately order-sensitive (recency weighting), so the property
+  is stated for the commutative parts only.
+* **Prior sanity** — no cold-start prior mode ever yields a negative
+  or NaN rate, for any coschedule over any synthetic rate table.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.estimation import (
+    PRIORS,
+    EstimationConfig,
+    ThroughputEstimator,
+)
+from repro.queueing.hotpath import synthetic_rates
+
+MAX_EXAMPLES = 60
+
+
+def make_estimator(
+    n_types=4, contexts=3, **config
+) -> tuple[ThroughputEstimator, tuple[str, ...]]:
+    rates, names = synthetic_rates(n_types=n_types, contexts=contexts)
+    return ThroughputEstimator(rates, EstimationConfig(**config)), names
+
+
+def coschedules_from(names, draw_list):
+    """Map drawn (size, indices) pairs onto concrete coschedules."""
+    return [
+        tuple(names[i % len(names)] for i in indices)
+        for indices in draw_list
+        if indices
+    ]
+
+
+observation_lists = st.lists(
+    st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=3),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestConvergence:
+    @given(
+        st.integers(min_value=0, max_value=2**16),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_error_shrinks_with_observations(self, seed, noise, alpha):
+        """More observations, smaller error (in expectation).
+
+        The EMA error contracts by ``(1 - alpha)`` per zero-mean-noise
+        observation, so after many observations of one coschedule the
+        estimate must sit closer to truth than the deliberately wrong
+        pessimistic prior did.  The noise is ergodic, not adversarial,
+        so compare through a generous factor rather than pointwise.
+        """
+        est, names = make_estimator(
+            noise=noise,
+            noise_model="multiplicative",
+            prior="pessimistic",
+            reopt_observations=0,
+            alpha=alpha,
+            seed=seed,
+        )
+        cos = (names[0], names[1])
+        truth = est.source.type_rates(cos)
+        prior = dict(est.type_rates(cos))
+        prior_error = sum(
+            abs(prior[n] - truth[n]) for n in truth
+        )
+        for _ in range(400):
+            est.observe_interval(cos, 1.0)
+        est.publish()
+        final = est.type_rates(cos)
+        final_error = sum(abs(final[n] - truth[n]) for n in truth)
+        # After 400 noisy updates the prior is forgotten entirely; the
+        # residual is noise-driven, bounded well below the prior's
+        # deliberate pessimism plus a noise allowance.
+        allowance = 6.0 * noise * math.sqrt(alpha) * sum(truth.values())
+        assert final_error <= prior_error + allowance
+        assert final_error <= 0.5 * prior_error + allowance
+
+    @given(
+        st.integers(min_value=0, max_value=2**16),
+        st.sampled_from(PRIORS),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_zero_noise_is_exact_after_one_observation(
+        self, seed, prior, n_obs
+    ):
+        """With no noise every observation IS the truth, and one EMA
+        step from the warm oracle prior (or n steps from any prior)
+        lands exactly on it — published error hits 0 for oracle priors
+        and decreases monotonically for cold ones."""
+        est, names = make_estimator(
+            noise=0.0, prior=prior, reopt_observations=0, seed=seed
+        )
+        cos = (names[0], names[2])
+        truth = est.source.type_rates(cos)
+        errors = []
+        for _ in range(n_obs):
+            est.observe_interval(cos, 0.5)
+            est.publish()
+            entry = est.type_rates(cos)
+            errors.append(sum(abs(entry[n] - truth[n]) for n in truth))
+        if prior == "oracle":
+            assert errors[0] == 0.0
+        assert all(
+            later <= earlier + 1e-12
+            for earlier, later in zip(errors, errors[1:])
+        )
+        # Geometric contraction: after n halvings the cold-start gap
+        # is down by 2^-n.
+        assert errors[-1] <= errors[0] * 0.5 ** (len(errors) - 1) + 1e-9
+
+
+class TestOrderInvariance:
+    @given(
+        observation_lists,
+        st.randoms(use_true_random=False),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_counts_and_confidence_are_order_invariant(
+        self, draw_list, shuffler, noise
+    ):
+        """Counting statistics commute: any permutation of the same
+        observation multiset yields identical per-coschedule counts,
+        total, and confidence."""
+        _, names = make_estimator()
+        observations = coschedules_from(names, draw_list)
+        shuffled = list(observations)
+        shuffler.shuffle(shuffled)
+
+        def feed(sequence):
+            est, _ = make_estimator(
+                noise=noise, prior="single_run", reopt_observations=0
+            )
+            for cos in sequence:
+                est.observe_interval(cos, 1.0)
+            return est
+
+        a, b = feed(observations), feed(shuffled)
+        keys = {tuple(sorted(c)) for c in observations}
+        assert a.total_observations == b.total_observations
+        for cos in keys:
+            assert a.observations(cos) == b.observations(cos)
+            assert a.confidence(cos) == b.confidence(cos)
+
+    @given(observation_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_zero_noise_estimates_are_order_invariant(
+        self, draw_list, shuffler
+    ):
+        """At zero noise every update lands exactly on truth, so the
+        published tables are identical under any observation order."""
+        _, names = make_estimator()
+        observations = coschedules_from(names, draw_list)
+        shuffled = list(observations)
+        shuffler.shuffle(shuffled)
+
+        def feed(sequence):
+            est, _ = make_estimator(
+                noise=0.0, prior="optimistic", reopt_observations=0
+            )
+            for cos in sequence:
+                est.observe_interval(cos, 1.0)
+            est.publish()
+            return est
+
+        a, b = feed(observations), feed(shuffled)
+        for cos in {tuple(sorted(c)) for c in observations}:
+            assert a.type_rates(cos) == b.type_rates(cos)
+
+
+class TestPriorSanity:
+    @given(
+        st.sampled_from(PRIORS),
+        st.lists(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=4
+        ),
+        st.integers(min_value=3, max_value=6),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_priors_never_negative_or_nan(
+        self, prior, indices, n_types, contexts
+    ):
+        """Every cold-start mode yields finite, non-negative rates for
+        every type of every coschedule it is asked about."""
+        est, names = make_estimator(
+            n_types=n_types, contexts=contexts, prior=prior
+        )
+        # A coschedule never exceeds the machine's context count (the
+        # rate table records nothing beyond it).
+        cos = tuple(names[i % len(names)] for i in indices[:contexts])
+        entry = est.type_rates(cos)
+        assert set(entry) == set(cos)
+        for rate in entry.values():
+            assert not math.isnan(rate)
+            assert math.isfinite(rate)
+            assert rate >= 0.0
+        # Confidence of a never-observed coschedule is 0 and stays in
+        # [0, 1) afterwards.
+        assert est.confidence(cos) == 0.0
+        est.observe_interval(cos, 1.0)
+        assert 0.0 < est.confidence(cos) < 1.0

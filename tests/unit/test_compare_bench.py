@@ -289,3 +289,175 @@ def test_scale_block_missing_fails_with_clear_message(tmp_path):
     with pytest.raises(SystemExit) as excinfo:
         compare_bench.main([str(baseline), "--scale", str(scale)])
     assert "records no scale block" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# The --tournament gate (estimation sanity invariants).
+# ----------------------------------------------------------------------
+
+
+def tournament_cell(noise, degradation, *, policy="maxit",
+                    scenario="baseline_poisson", rep=0, completed=50,
+                    est_completed=None):
+    oracle_tp = 2.0
+    return {
+        "scenario": scenario,
+        "policy": policy,
+        "noise": noise,
+        "warmup_frac": 0.0,
+        "rep": rep,
+        "oracle_throughput": oracle_tp,
+        "est_throughput": oracle_tp * (1.0 - degradation),
+        "tp_degradation": degradation,
+        "oracle_completed": completed,
+        "est_completed": (
+            completed if est_completed is None else est_completed
+        ),
+    }
+
+
+def write_tournament(path: Path, cells: list[dict], *, wrap=False):
+    payload = {"noise_levels": sorted({c["noise"] for c in cells}),
+               "cells": cells}
+    if wrap:
+        payload = {"name": "policy_tournament", "rows": payload}
+    path.write_text(json.dumps(payload))
+
+
+def healthy_cells():
+    return [
+        tournament_cell(0.0, 0.0),
+        tournament_cell(0.0, 0.0, rep=1),
+        tournament_cell(0.4, 0.02),
+        tournament_cell(0.4, -0.01, rep=1),
+    ]
+
+
+def test_tournament_healthy_passes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    write_tournament(tournament, healthy_cells())
+    assert compare_bench.main(
+        [str(baseline), "--tournament", str(tournament)]
+    ) == 0
+    assert "tournament sanity ok" in capsys.readouterr().out
+
+
+def test_tournament_accepts_results_dir_wrapper(tmp_path):
+    """The runner's --results-dir file nests the payload under rows."""
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    write_tournament(tournament, healthy_cells(), wrap=True)
+    assert compare_bench.main(
+        [str(baseline), "--tournament", str(tournament)]
+    ) == 0
+
+
+def test_tournament_zero_noise_drift_fails(tmp_path, capsys):
+    """A zero-noise cell that is not bit-identical to its oracle twin
+    is an estimation-stack bug, whatever its sign."""
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    cells = healthy_cells()
+    cells[0] = tournament_cell(0.0, 1e-4)
+    write_tournament(tournament, cells)
+    assert compare_bench.main(
+        [str(baseline), "--tournament", str(tournament)]
+    ) == 1
+    assert "bit-identical" in capsys.readouterr().err
+
+
+def test_tournament_zero_noise_completion_drift_fails(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    cells = healthy_cells()
+    cells[1] = tournament_cell(0.0, 0.0, rep=1, est_completed=49)
+    write_tournament(tournament, cells)
+    assert compare_bench.main(
+        [str(baseline), "--tournament", str(tournament)]
+    ) == 1
+    assert "49 vs 50" in capsys.readouterr().err
+
+
+def test_tournament_inverted_price_of_information_fails(tmp_path, capsys):
+    """Estimates systematically beating the oracle at high noise means
+    the oracle side of the pairing is broken."""
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    cells = [
+        tournament_cell(0.0, 0.0),
+        tournament_cell(0.4, -0.10),
+        tournament_cell(0.4, -0.12, rep=1),
+    ]
+    write_tournament(tournament, cells)
+    assert compare_bench.main(
+        [str(baseline), "--tournament", str(tournament)]
+    ) == 1
+    assert "beat the oracle" in capsys.readouterr().err
+
+
+def test_tournament_slack_is_configurable(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    cells = [
+        tournament_cell(0.0, 0.0),
+        tournament_cell(0.4, -0.10),
+    ]
+    write_tournament(tournament, cells)
+    assert compare_bench.main(
+        [str(baseline), "--tournament", str(tournament),
+         "--tournament-slack", "0.2"]
+    ) == 0
+
+
+def test_tournament_without_controls_fails(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    write_tournament(tournament, [tournament_cell(0.4, 0.02)])
+    assert compare_bench.main(
+        [str(baseline), "--tournament", str(tournament)]
+    ) == 1
+    assert "no zero-noise control cells" in capsys.readouterr().err
+
+
+def test_tournament_without_noise_fails(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    write_tournament(tournament, [tournament_cell(0.0, 0.0)])
+    assert compare_bench.main(
+        [str(baseline), "--tournament", str(tournament)]
+    ) == 1
+    assert "no noisy cells" in capsys.readouterr().err
+
+
+def test_tournament_empty_fails_with_clear_message(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    tournament.write_text(json.dumps({"cells": []}))
+    with pytest.raises(SystemExit) as excinfo:
+        compare_bench.main([str(baseline), "--tournament", str(tournament)])
+    assert "no cells" in str(excinfo.value)
+
+
+def test_tournament_composes_with_perf_gate(tmp_path):
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    tournament = tmp_path / "tournament.json"
+    write_results(
+        results,
+        {"saturated_demo": {"legacy": 1.0, "fast": 0.25, "compiled": 0.1}},
+    )
+    write_baseline(baseline, [BASELINE_POINT])
+    write_tournament(tournament, healthy_cells())
+    assert compare_bench.main(
+        [str(results), str(baseline), "--tournament", str(tournament)]
+    ) == 0

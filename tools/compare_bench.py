@@ -51,12 +51,32 @@ payload against the committed trajectory point's ``scale`` block
 * **completion** — every case must complete exactly its ``n_jobs``
   (a silently truncated run would make every other number meaningless).
 
+With ``--tournament`` the gate additionally (or instead) checks a
+``policy_tournament`` experiment result file (the ``--results-dir``
+payload or its raw ``rows``) for the estimation layer's two
+sanity invariants:
+
+* **zero-noise identity** — every ``noise == 0`` cell must show
+  exactly zero throughput degradation and identical completion
+  counts: the estimator's warm-prior control is pinned bit-identical
+  to the oracle, so any deviation is an estimation-stack bug, not
+  statistics.
+* **price of information** — at the highest swept noise level the
+  *mean* paired throughput degradation must stay above
+  ``-(--tournament-slack)``: the oracle must be at least as good as
+  the estimates in aggregate.  The slack absorbs the paired-noise
+  wobble of small samples (a lucky estimated run can beat its oracle
+  twin on a finite stream); a systematic inversion — estimates
+  reliably *beating* the truth — means the oracle plumbing is broken.
+
 Usage::
 
     python tools/compare_bench.py results/bench_hotpath.json \
         BENCH_CORE.json --tolerance 2.0 --min-speedup 1.3
     python tools/compare_bench.py BENCH_CORE.json \
         --scale results/bench_scale.json
+    python tools/compare_bench.py BENCH_CORE.json \
+        --tournament results/policy_tournament.json
 """
 
 from __future__ import annotations
@@ -199,6 +219,90 @@ def check_scale(scale_path: Path, baseline_path: Path) -> list[str]:
     return failures
 
 
+def check_tournament(
+    tournament_path: Path,
+    *,
+    zero_tol: float = 1e-9,
+    slack: float = 0.05,
+) -> list[str]:
+    """Tournament gate; returns failure descriptions (empty = pass).
+
+    Accepts either the ``--results-dir`` wrapper written by
+    ``python -m repro.experiments policy_tournament`` or the raw
+    payload (its ``rows``).
+    """
+    try:
+        data = json.loads(tournament_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(
+            f"cannot read tournament results {tournament_path}: {exc}"
+        )
+    payload = data.get("rows", data)
+    cells = payload.get("cells") if isinstance(payload, dict) else None
+    if not cells:
+        raise SystemExit(
+            f"tournament results {tournament_path} contain no cells"
+        )
+    noise_levels = sorted({c["noise"] for c in cells})
+
+    failures: list[str] = []
+
+    zero_cells = [c for c in cells if c["noise"] == 0.0]
+    if not zero_cells:
+        failures.append("no zero-noise control cells in the tournament")
+    bad_zero = [
+        c
+        for c in zero_cells
+        if abs(c["tp_degradation"]) > zero_tol
+        or c["est_completed"] != c["oracle_completed"]
+    ]
+    verdict = "ok" if not (bad_zero or not zero_cells) else "REGRESSED"
+    print(
+        f"{'tournament[noise=0]':26s} {len(zero_cells)} control cells, "
+        f"{len(bad_zero)} deviate from oracle (tol {zero_tol:g})   "
+        f"{verdict}"
+    )
+    for c in bad_zero[:5]:
+        failures.append(
+            f"tournament[noise=0]: {c['policy']}/{c['scenario']} "
+            f"rep {c['rep']} deviates from its oracle twin "
+            f"(degradation {c['tp_degradation']:.3e}, completed "
+            f"{c['est_completed']} vs {c['oracle_completed']}) — "
+            "zero-noise estimated runs must be bit-identical"
+        )
+    if len(bad_zero) > 5:
+        failures.append(
+            f"tournament[noise=0]: ... and {len(bad_zero) - 5} more "
+            "deviating cells"
+        )
+
+    high = max(noise_levels)
+    if high <= 0.0:
+        failures.append(
+            "tournament has no noisy cells — the price-of-information "
+            "check needs at least one noise level > 0"
+        )
+    else:
+        noisy = [
+            c["tp_degradation"] for c in cells if c["noise"] == high
+        ]
+        mean = sum(noisy) / len(noisy)
+        ok = mean >= -slack
+        print(
+            f"{'tournament[high noise]':26s} noise {high:g}: mean TP "
+            f"degradation {mean:+.2%} over {len(noisy)} cells "
+            f"(floor {-slack:+.0%})   {'ok' if ok else 'REGRESSED'}"
+        )
+        if not ok:
+            failures.append(
+                f"tournament[high noise]: estimates beat the oracle by "
+                f"{-mean:.2%} on average at noise {high:g} (slack "
+                f"{slack:.0%}) — the oracle side of the pairing is "
+                "broken"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -220,11 +324,40 @@ def main(argv: list[str] | None = None) -> int:
         help="bench_scale.py --json payload to gate against the "
         "committed scale block",
     )
+    parser.add_argument(
+        "--tournament",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="policy_tournament result JSON to sanity-gate (zero-noise "
+        "identity, oracle >= estimates at high noise)",
+    )
+    parser.add_argument(
+        "--tournament-slack",
+        type=float,
+        default=0.05,
+        metavar="FRAC",
+        help="how far the mean high-noise degradation may dip below "
+        "zero before the gate fails (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
-    if args.results is None and args.scale is None:
+    if args.results is None and args.scale is None and args.tournament is None:
         parser.error("nothing to compare: give a results file, --scale, "
-                     "or both")
+                     "--tournament, or any combination")
+
+    if args.tournament is not None:
+        tournament_failures = check_tournament(
+            args.tournament, slack=args.tournament_slack
+        )
+        if tournament_failures:
+            for failure in tournament_failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            print("tournament sanity FAILED", file=sys.stderr)
+            return 1
+        print("tournament sanity ok")
+        if args.results is None and args.scale is None:
+            return 0
 
     if args.scale is not None:
         scale_failures = check_scale(args.scale, args.baseline)
