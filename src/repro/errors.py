@@ -17,6 +17,8 @@ __all__ = [
     "UnboundedError",
     "SolverError",
     "SimulationError",
+    "EngineStallError",
+    "CheckpointError",
     "WorkloadError",
     "EstimationError",
 ]
@@ -52,6 +54,18 @@ class UnboundedError(SolverError):
 
 class SimulationError(ReproError):
     """A discrete-event simulation entered an inconsistent state."""
+
+
+class EngineStallError(SimulationError):
+    """The event loop processed many consecutive events without the
+    clock advancing (a livelock).  Raised with machine/clock
+    diagnostics instead of spinning until ``max_events``."""
+
+
+class CheckpointError(SimulationError):
+    """A checkpoint file could not be read back: truncated, not JSON,
+    missing required sections, or written by a different format
+    version.  The message names the file and the expected format."""
 
 
 class WorkloadError(ReproError):

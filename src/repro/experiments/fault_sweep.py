@@ -1,0 +1,442 @@
+"""Chaos harness: the fault layer swept over MTBF × scenarios × dispatch.
+
+The cluster now fails like a real one (:mod:`repro.queueing.faults`):
+machines crash and are repaired, correlated outages take fractions of
+the fleet down at once, transient DEGRADED episodes slow machines, and
+jobs retry with exponential backoff until a budget abandons them.
+This experiment is the observable surface of that layer — and its
+regression net.  Every (scenario, dispatcher) cell runs a small grid:
+
+* ``none`` — the historical fault-free engine (``faults=None``);
+* ``zero`` — a default :class:`~repro.queueing.faults.FaultConfig`
+  through the fault-aware code path.  The ``compare_bench --faults``
+  gate asserts this row is **bit-identical** to ``none`` (the
+  zero-fault identity is structural, not approximate);
+* faulty cells at increasing MTBF (fixed MTTR), each reporting
+  availability, goodput (work rate net of progress lost to crashes),
+  lost work, retries, abandonment, and shed arrivals alongside the
+  usual throughput/turnaround metrics.  The gate also checks
+  availability is monotone non-decreasing in MTBF — the sanity law
+  ``availability ≈ MTBF / (MTBF + MTTR)`` at the grid's scale.
+
+MTBF/MTTR are expressed as fractions of the cell's estimated run
+duration, so every scenario sees a comparable number of failure events
+regardless of its traffic shape.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.optimal import optimal_throughput
+from repro.core.workload import Workload
+from repro.experiments.common import (
+    ExperimentContext,
+    format_table,
+    sample_workloads,
+    snapshot_rates,
+)
+from repro.experiments.registry import Experiment, RunOptions, register
+from repro.microarch.rates import RateSource, infer_contexts
+from repro.queueing.cluster import Cluster
+from repro.queueing.dispatch import make_dispatcher
+from repro.queueing.faults import FaultConfig
+from repro.queueing.scenarios import Scenario, get_scenario
+from repro.queueing.schedulers import make_scheduler
+from repro.queueing.sharding import parallel_map
+
+__all__ = [
+    "FAULT_SCENARIOS",
+    "DISPATCHERS",
+    "MTBF_FRACTIONS",
+    "MTTR_FRACTION",
+    "FaultOutcome",
+    "fault_config_for",
+    "run_fault_cell",
+    "compute_fault_sweep",
+    "run",
+    "render",
+]
+
+#: Scenarios the chaos harness sweeps (a traffic-shape cross-section,
+#: not the full registry — the fault axis multiplies every cell).
+FAULT_SCENARIOS: tuple[str, ...] = (
+    "baseline_poisson",
+    "bursty_mmpp",
+    "heavy_tail",
+)
+
+#: Dispatch policies under churn; the first is the delta baseline.
+DISPATCHERS: tuple[str, ...] = ("round_robin", "jsq", "affinity")
+
+#: MTBF grid as fractions of the cell's estimated duration, widely
+#: spaced so the availability-monotonicity gate is robust to stochastic
+#: wiggle (the law availability ~ mtbf/(mtbf+mttr) dominates noise).
+MTBF_FRACTIONS: tuple[float, ...] = (0.08, 0.25, 0.75)
+
+#: MTTR as a fraction of the estimated duration — fixed across the
+#: MTBF grid, so availability strictly orders with MTBF.
+MTTR_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """One (scenario, dispatcher, fault mode) cell of the chaos sweep.
+
+    Attributes:
+        scenario: workload scenario name.
+        dispatcher: dispatch policy.
+        mode: ``"none"`` (faults=None), ``"zero"`` (default
+            FaultConfig — must be bit-identical to ``"none"``), or
+            ``"mtbf=<fraction>"`` for a faulty grid point.
+        mtbf: absolute mean time between failures (0 when inactive).
+        mttr: absolute mean time to repair (0 when inactive).
+        n_machines: cluster size M.
+        n_jobs: jobs offered.
+        throughput: cluster work rate over the run (gross).
+        goodput: work rate net of progress lost to crashes.
+        mean_turnaround: average turnaround of completed jobs (retry
+            delays included — retried jobs keep their arrival time).
+        availability: 1 - mean fraction of machine-time DOWN.
+        degraded_fraction: mean fraction of machine-time DEGRADED.
+        lost_work: total progress destroyed by crashes.
+        crashes: machine-down events (individual + outage-planned).
+        retried: retry requeues.
+        abandoned: jobs dropped after exhausting the retry budget.
+        shed: arrivals dropped by the admission-control valve.
+        completed: jobs finished inside the measurement window.
+        engine: engine that advanced the run (provenance — all
+            engines are bit-identical, faults included).
+    """
+
+    scenario: str
+    dispatcher: str
+    mode: str
+    mtbf: float
+    mttr: float
+    n_machines: int
+    n_jobs: int
+    throughput: float
+    goodput: float
+    mean_turnaround: float
+    availability: float
+    degraded_fraction: float
+    lost_work: float
+    crashes: int
+    retried: int
+    abandoned: int
+    shed: int
+    completed: int
+    engine: str = "compiled"
+
+
+def _cell_seed(base: int, scenario: str, dispatcher: str) -> int:
+    """Deterministic per-cell seed, stable under sweep reordering."""
+    tag = f"{scenario}:{dispatcher}".encode()
+    return (base * 1_000_003 + zlib.crc32(tag)) % 2**31
+
+
+def fault_config_for(
+    mtbf_fraction: float, duration: float, *, seed: int
+) -> FaultConfig:
+    """The sweep's faulty config at one MTBF grid point.
+
+    Individual crashes with resume-fraction recovery, degraded
+    episodes, and a shed valve — the processes whose effects the
+    outcome columns report.  Scaled to the cell's estimated duration
+    so short quick-mode runs still see failures.
+    """
+    return FaultConfig(
+        seed=seed,
+        mtbf=mtbf_fraction * duration,
+        mttr=MTTR_FRACTION * duration,
+        degraded_mtbf=0.5 * duration,
+        degraded_duration=0.05 * duration,
+        degraded_factor=0.5,
+        crash_policy="resume_fraction",
+        resume_fraction=0.5,
+        retry_budget=3,
+        backoff_base=0.01 * duration,
+        shed_after=0.5 * duration,
+    )
+
+
+def run_fault_cell(
+    rates: RateSource,
+    workload: Workload,
+    scenario: Scenario,
+    dispatcher: str,
+    mode: str,
+    *,
+    n_machines: int = 3,
+    scheduler: str = "maxtp",
+    n_jobs: int | None = None,
+    seed: int = 0,
+    contexts: int | None = None,
+    capacity: float | None = None,
+    engine: str | None = "compiled",
+    backend: str | None = None,
+) -> FaultOutcome:
+    """Run one (scenario, dispatcher, fault mode) cell.
+
+    ``mode`` is ``"none"``, ``"zero"``, or ``"mtbf=<fraction>"``.
+    The offered load is normalized exactly as in the scenario sweep,
+    so the ``none`` row of a cell matches the scenario sweep's cell
+    and the fault rows are deltas attributable to faults alone.
+    """
+    k = infer_contexts(rates, contexts)
+    if capacity is None:
+        capacity = n_machines * optimal_throughput(
+            rates, workload, contexts=k
+        ).throughput
+    count = scenario.n_jobs if n_jobs is None else n_jobs
+    mean_rate = (
+        0.0
+        if scenario.saturated
+        else scenario.load * capacity / scenario.mean_size
+    )
+    cell_seed = _cell_seed(seed, scenario.name, dispatcher)
+    duration = (
+        count * scenario.mean_size / capacity
+        if scenario.saturated
+        else count / mean_rate
+    )
+    if mode == "none":
+        faults: FaultConfig | None = None
+        mtbf = mttr = 0.0
+    elif mode == "zero":
+        faults = FaultConfig(seed=cell_seed)
+        mtbf = mttr = 0.0
+    elif mode.startswith("mtbf="):
+        fraction = float(mode[len("mtbf="):])
+        faults = fault_config_for(fraction, duration, seed=cell_seed)
+        mtbf, mttr = faults.mtbf, faults.mttr
+    else:
+        raise ValueError(f"unknown fault mode {mode!r}")
+
+    cluster = Cluster(
+        rates,
+        [
+            make_scheduler(scheduler, rates, k, workload=workload)
+            for _ in range(n_machines)
+        ],
+        make_dispatcher(
+            dispatcher, rates=rates, workload=workload, contexts=k
+        ),
+    )
+    stop_when_fewer_than = n_machines * k if scenario.saturated else None
+    keep_in_system = (
+        scenario.backlog_per_machine if scenario.saturated else None
+    )
+    metrics = cluster.run(
+        scenario.build_jobs(
+            workload.types,
+            mean_rate=mean_rate,
+            seed=cell_seed,
+            n_jobs=count,
+        ),
+        stop_when_fewer_than=stop_when_fewer_than,
+        keep_in_system=keep_in_system,
+        engine=engine,
+        backend=backend,
+        faults=faults,
+    )
+    stats = cluster.last_fault_stats or {}
+    lost_work = float(stats.get("lost_work", 0.0))
+    measured = metrics.per_machine[0].measured_time
+    goodput = metrics.throughput - (
+        lost_work / measured if measured > 0.0 else 0.0
+    )
+    return FaultOutcome(
+        scenario=scenario.name,
+        dispatcher=dispatcher,
+        mode=mode,
+        mtbf=mtbf,
+        mttr=mttr,
+        n_machines=n_machines,
+        n_jobs=count,
+        throughput=metrics.throughput,
+        goodput=goodput,
+        mean_turnaround=(
+            metrics.mean_turnaround if metrics.completed else float("nan")
+        ),
+        availability=float(stats.get("availability", 1.0)),
+        degraded_fraction=float(stats.get("degraded_fraction", 0.0)),
+        lost_work=lost_work,
+        crashes=int(stats.get("crashes", 0)),
+        retried=int(stats.get("retried", 0)),
+        abandoned=int(stats.get("abandoned", 0)),
+        shed=int(stats.get("shed", 0)),
+        completed=metrics.completed,
+        engine=engine or "fast",
+    )
+
+
+def _cell_worker(payload: tuple) -> FaultOutcome:
+    """Spawn-safe cell runner over a frozen rate snapshot."""
+    rates, workload, scenario, dispatcher, mode, kwargs = payload
+    return run_fault_cell(
+        rates, workload, scenario, dispatcher, mode, **kwargs
+    )
+
+
+def compute_fault_sweep(
+    rates: RateSource,
+    workload: Workload,
+    *,
+    scenarios: Sequence[str] = FAULT_SCENARIOS,
+    dispatchers: Sequence[str] = DISPATCHERS,
+    mtbf_fractions: Sequence[float] = MTBF_FRACTIONS,
+    n_machines: int = 3,
+    scheduler: str = "maxtp",
+    n_jobs: int | None = None,
+    seed: int = 0,
+    contexts: int | None = None,
+    engine: str | None = "compiled",
+    backend: str | None = None,
+    jobs: int = 1,
+) -> list[FaultOutcome]:
+    """The full chaos grid: scenarios × dispatchers × fault modes.
+
+    Each cell runs ``none``, ``zero``, then the faulty MTBF grid.
+    Cells share nothing, so ``jobs > 1`` fans them out over processes
+    (bit-identical to a serial sweep — workers get a frozen
+    :func:`snapshot_rates` table).
+    """
+    k = infer_contexts(rates, contexts)
+    capacity = n_machines * optimal_throughput(
+        rates, workload, contexts=k
+    ).throughput
+    modes = ["none", "zero"] + [
+        f"mtbf={fraction:g}" for fraction in mtbf_fractions
+    ]
+    cells = [
+        (get_scenario(name), dispatcher, mode)
+        for name in scenarios
+        for dispatcher in dispatchers
+        for mode in modes
+    ]
+    kwargs = {
+        "n_machines": n_machines,
+        "scheduler": scheduler,
+        "n_jobs": n_jobs,
+        "seed": seed,
+        "contexts": k,
+        "capacity": capacity,
+        "engine": engine,
+        "backend": backend,
+    }
+    if jobs > 1 and len(cells) > 1:
+        frozen = snapshot_rates(rates, workload.types, k)
+        payloads = [
+            (frozen, workload, scenario, dispatcher, mode, kwargs)
+            for scenario, dispatcher, mode in cells
+        ]
+        return parallel_map(_cell_worker, payloads, jobs)
+    return [
+        run_fault_cell(
+            rates, workload, scenario, dispatcher, mode, **kwargs
+        )
+        for scenario, dispatcher, mode in cells
+    ]
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    config: str = "smt",
+    n_machines: int = 3,
+    n_jobs: int | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+) -> list[FaultOutcome]:
+    """The chaos sweep on one deterministically sampled workload."""
+    workload = sample_workloads(context.workloads, 1, seed=seed)[0]
+    return compute_fault_sweep(
+        context.rates_for(config),
+        workload,
+        n_machines=n_machines,
+        n_jobs=n_jobs,
+        seed=seed,
+        jobs=jobs,
+    )
+
+
+def render(outcomes: list[FaultOutcome]) -> str:
+    """Text rendering: one row per cell, grouped by scenario."""
+    if not outcomes:
+        return "no fault cells swept"
+    rows = []
+    for o in outcomes:
+        rows.append((
+            o.scenario,
+            o.dispatcher,
+            o.mode,
+            f"{o.availability:.3f}",
+            f"{o.throughput:.3f}",
+            f"{o.goodput:.3f}",
+            (
+                f"{o.mean_turnaround:.2f}"
+                if o.mean_turnaround == o.mean_turnaround
+                else "n/a"
+            ),
+            f"{o.lost_work:.1f}",
+            str(o.retried),
+            str(o.abandoned),
+            str(o.shed),
+        ))
+    table = format_table(
+        [
+            "scenario",
+            "dispatcher",
+            "faults",
+            "avail",
+            "TP",
+            "goodput",
+            "turnaround",
+            "lost",
+            "retried",
+            "abandoned",
+            "shed",
+        ],
+        rows,
+    )
+    zero_rows = [o for o in outcomes if o.mode == "zero"]
+    faulty = [o for o in outcomes if o.mode.startswith("mtbf=")]
+    summary = (
+        f"\n\n{len(outcomes)} cells "
+        f"({len({o.scenario for o in outcomes})} scenarios x "
+        f"{len({o.dispatcher for o in outcomes})} dispatchers x "
+        f"{len({o.mode for o in outcomes})} fault modes, "
+        f"{outcomes[0].n_machines} machines).\n"
+        "zero-fault rows are bit-identical to the fault-free engine "
+        f"({len(zero_rows)} checked by compare_bench --faults); "
+        "mean faulty availability "
+        f"{sum(o.availability for o in faulty) / len(faulty):.3f}"
+        if faulty
+        else ""
+    )
+    return table + summary
+
+
+def _registry_run(
+    context: ExperimentContext, options: RunOptions
+) -> list[FaultOutcome]:
+    return run(
+        context,
+        n_jobs=250 if options.quick else None,
+        seed=options.seed_for("fault_sweep"),
+        jobs=options.jobs,
+    )
+
+
+register(Experiment(
+    name="fault_sweep",
+    kind="analysis",
+    title="Fault sweep — chaos harness: failures/repairs x scenarios x "
+    "dispatch policies",
+    run=_registry_run,
+    render=render,
+))

@@ -56,6 +56,7 @@ EXPERIMENT_MODULES: tuple[str, ...] = (
     "repro.experiments.skew_exp",
     "repro.experiments.cluster_exp",
     "repro.experiments.scenario_sweep",
+    "repro.experiments.fault_sweep",
     "repro.experiments.policy_tournament",
     "repro.experiments.summary",
 )

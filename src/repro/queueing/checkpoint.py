@@ -29,8 +29,18 @@ Files are written with the fsync-hardened
 finds is always a complete checkpoint — power loss mid-write leaves
 the previous one in place.
 
-Format: ``repro-checkpoint-v1``.  The version is checked on load;
-future format changes must bump it (a restore never guesses).
+Format: ``repro-checkpoint-v2``.  The version is checked on load;
+future format changes must bump it (a restore never guesses).  A
+truncated, non-JSON, or version-mismatched file raises
+:class:`~repro.errors.CheckpointError` naming the file and the
+expected format — never a raw ``json``/``KeyError``.
+
+v2 adds the fault layer: the run's
+:class:`~repro.queueing.faults.FaultConfig`, the livelock-guard
+threshold, each machine's effective speed (DEGRADED episodes), and the
+full :class:`~repro.queueing.faults.FaultRuntime` state (lifecycle,
+event heap, retry heap, attempt counts, RNG position) — a killed run
+resumes bit-identically *through* a failure event.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, SimulationError
 from repro.microarch.rate_cache import _atomic_dump
 from repro.queueing.cluster import (
     Cluster,
@@ -47,6 +57,7 @@ from repro.queueing.cluster import (
     JobQueue,
     LoopState,
 )
+from repro.queueing.faults import DEFAULT_STALL_EVENTS, FaultConfig
 from repro.queueing.job import Job
 
 __all__ = [
@@ -58,7 +69,19 @@ __all__ = [
 ]
 
 #: Format tag embedded in (and required of) every checkpoint file.
-CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+CHECKPOINT_FORMAT = "repro-checkpoint-v2"
+
+#: Top-level sections every well-formed checkpoint carries; validated
+#: on load so a corrupt file fails with a named diagnosis, not a
+#: ``KeyError`` deep inside restore().
+_REQUIRED_SECTIONS = (
+    "run",
+    "loop",
+    "stream",
+    "machines",
+    "schedulers",
+    "dispatcher",
+)
 
 _INF = float("inf")
 
@@ -111,6 +134,7 @@ def capture(
             "next_completion": machine.next_completion,
             "last_sync": machine.last_sync,
             "dirty": machine.dirty,
+            "speed": machine.speed,
             "metrics": machine.metrics.to_state(),
         })
     return {
@@ -123,6 +147,12 @@ def capture(
             "stop_when_fewer_than": handle.stop_when_fewer_than,
             "keep_in_system": handle.keep_in_system,
             "max_events": handle.max_events,
+            "stall_events": handle.stall_events,
+            "faults": (
+                handle.fault_config.to_jsonable()
+                if handle.fault_config is not None
+                else None
+            ),
         },
         "loop": {
             "clock": state.clock,
@@ -152,6 +182,11 @@ def capture(
             m.scheduler.state_dict() for m in handle.machines
         ],
         "dispatcher": handle.cluster.dispatcher.state_dict(),
+        "faults_state": (
+            handle.fault_rt.state_dict()
+            if handle.fault_rt is not None
+            else None
+        ),
         "extra": extra or {},
     }
 
@@ -164,13 +199,46 @@ def save(path: Path | str, payload: dict) -> None:
 
 
 def load(path: Path | str) -> dict:
-    """Read and validate a checkpoint payload."""
-    with open(path, encoding="utf-8") as fp:
-        payload = json.load(fp)
+    """Read and validate a checkpoint payload.
+
+    Raises :class:`~repro.errors.CheckpointError` — naming the file
+    and the expected format — for anything short of a well-formed
+    checkpoint: an unreadable file, truncated or non-JSON content, a
+    format-version mismatch, or missing required sections.
+    """
+    try:
+        with open(path, encoding="utf-8") as fp:
+            payload = json.load(fp)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON (truncated or "
+            f"corrupt write?): {exc} — expected a complete "
+            f"{CHECKPOINT_FORMAT!r} payload"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"checkpoint {path} does not contain a JSON object "
+            f"(expected a {CHECKPOINT_FORMAT!r} payload)"
+        )
     if payload.get("format") != CHECKPOINT_FORMAT:
-        raise SimulationError(
+        raise CheckpointError(
             f"unsupported checkpoint format {payload.get('format')!r} "
             f"in {path} (expected {CHECKPOINT_FORMAT!r})"
+        )
+    missing = [
+        section
+        for section in _REQUIRED_SECTIONS
+        if section not in payload
+    ]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path} is missing required section(s) "
+            f"{', '.join(missing)} — truncated or not a "
+            f"{CHECKPOINT_FORMAT!r} payload"
         )
     return payload
 
@@ -197,6 +265,12 @@ def restore(
     differently mid-interval).
     """
     run = payload["run"]
+    fault_payload = run.get("faults")
+    faults = (
+        FaultConfig.from_jsonable(fault_payload)
+        if fault_payload is not None
+        else None
+    )
     handle = cluster.start(
         arrivals,
         warmup_time=run["warmup_time"],
@@ -207,6 +281,8 @@ def restore(
         engine=run["engine"],
         backend=run["backend"],
         pick_log=pick_log,
+        faults=faults,
+        stall_events=run.get("stall_events", DEFAULT_STALL_EVENTS),
     )
     if len(handle.machines) != len(payload["machines"]):
         raise SimulationError(
@@ -262,15 +338,32 @@ def restore(
         machine.jobs = queue
         running = [by_id[i] for i in mstate["running_ids"]]
         machine.running = running
+        # A machine checkpointed mid-DEGRADED-episode steps at a scaled
+        # rate; rebuilding the scaling from the memo's nominal entry
+        # reproduces the paused run's exact floats (same multiply on
+        # the same operands — see Machine.reschedule).
+        speed = mstate.get("speed", 1.0)
+        machine.speed = speed
         if fast:
             codes = tuple(sorted(job.type_code for job in running))
             entry = memo.compiled_entry(codes)
             machine.coschedule = entry.names
-            machine.job_rates = entry.per_job
-            machine.rates_by_code = entry.rates_by_code
+            if speed == 1.0:
+                machine.job_rates = entry.per_job
+                machine.rates_by_code = entry.rates_by_code
+            else:
+                machine.job_rates = {
+                    k: v * speed for k, v in entry.per_job.items()
+                }
+                machine.rates_by_code = [
+                    r * speed for r in entry.rates_by_code
+                ]
         else:
             machine.coschedule = tuple(mstate["coschedule"])
-            machine.job_rates = memo.per_job_rates(machine.coschedule)
+            job_rates = memo.per_job_rates(machine.coschedule)
+            if speed != 1.0:
+                job_rates = {k: v * speed for k, v in job_rates.items()}
+            machine.job_rates = job_rates
             machine.rates_by_code = None
         if list(machine.coschedule) != mstate["coschedule"]:
             raise SimulationError(
@@ -287,6 +380,18 @@ def restore(
     ):
         machine.scheduler.load_state(sched_state)
     cluster.dispatcher.load_state(payload["dispatcher"])
+
+    faults_state = payload.get("faults_state")
+    if handle.fault_rt is not None:
+        if faults_state is None:
+            raise CheckpointError(
+                "checkpoint declares a fault config but carries no "
+                "faults_state section — truncated or hand-edited file"
+            )
+        handle.fault_rt.load_state(
+            faults_state,
+            encode=memo.codec.encode if fast else None,
+        )
 
     handle.state = LoopState(
         clock=loop["clock"],

@@ -52,11 +52,17 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.errors import EstimationError, SimulationError
+from repro.errors import EngineStallError, EstimationError, SimulationError
 from repro.microarch.codec import TypeCodec
 from repro.microarch.rates import RateSource
 from repro.queueing.dispatch import Dispatcher
 from repro.queueing.estimation import EstimationConfig, ThroughputEstimator
+from repro.queueing.faults import (
+    DEFAULT_STALL_EVENTS,
+    EngineOps,
+    FaultConfig,
+    FaultRuntime,
+)
 from repro.queueing.job import Job
 from repro.queueing.ratememo import RunRateMemo
 from repro.queueing.schedulers import Scheduler
@@ -237,6 +243,11 @@ class Machine:
     #: Estimated-rate runs install the estimator's observation feed
     #: here; called once per positive-span sync of a busy machine.
     rate_observer: Callable[[tuple[str, ...], float], None] | None = None
+    #: Effective speed multiplier — 1.0 normally, the configured
+    #: ``degraded_factor`` during a fault-layer DEGRADED episode.
+    #: Applied by :meth:`reschedule` as a scale on every per-coschedule
+    #: rate (fresh scaled copies; memo entries are never mutated).
+    speed: float = 1.0
 
     def __post_init__(self) -> None:
         # Normalize whatever iterable the caller handed in: every
@@ -283,6 +294,10 @@ class Machine:
             coschedule = entry.names
             job_rates = entry.per_job
             rates_by_code = entry.rates_by_code
+            speed = self.speed
+            if speed != 1.0:
+                job_rates = {k: v * speed for k, v in job_rates.items()}
+                rates_by_code = [r * speed for r in rates_by_code]
             next_completion = _INF
             for job in running:
                 rate = rates_by_code[job.type_code]
@@ -295,6 +310,9 @@ class Machine:
         else:
             coschedule = tuple(sorted(job.job_type for job in running))
             job_rates = memo.per_job_rates(coschedule)
+            speed = self.speed
+            if speed != 1.0:
+                job_rates = {k: v * speed for k, v in job_rates.items()}
             next_completion = _INF
             for job in running:
                 rate = job_rates[job.job_type]
@@ -473,6 +491,47 @@ class ClusterMetrics:
         )
 
 
+def _stall_error(
+    clock: float,
+    stalled: int,
+    in_system: int,
+    pending: Job | None,
+    machines: Sequence[Machine],
+    faults: "FaultRuntime | None",
+) -> EngineStallError:
+    """Livelock diagnostics shared by both event loops."""
+    head = (
+        f"job {pending.job_id} @ {pending.arrival_time!r}"
+        if pending is not None
+        else "none"
+    )
+    lines = [
+        f"event loop stalled: {stalled} consecutive events with no "
+        f"clock progress at t={clock!r} "
+        f"(in_system={in_system}, pending={head})"
+    ]
+    for machine in machines[:8]:
+        state = (
+            faults.state[machine.machine_id]
+            if faults is not None
+            else "up"
+        )
+        lines.append(
+            f"  machine {machine.machine_id}: state={state} "
+            f"jobs={len(machine.jobs)} running={len(machine.running)} "
+            f"next_completion={machine.next_completion!r} "
+            f"last_sync={machine.last_sync!r} dirty={machine.dirty}"
+        )
+    if len(machines) > 8:
+        lines.append(f"  ... {len(machines) - 8} more machines")
+    if faults is not None:
+        lines.append(
+            f"  faults: events={len(faults.events)} "
+            f"retries={len(faults.retries)} stats={faults.stats.as_dict()}"
+        )
+    return EngineStallError("\n".join(lines))
+
+
 class Cluster:
     """M identical-hardware machines behind one dispatch policy.
 
@@ -507,6 +566,10 @@ class Cluster:
         #: :meth:`repro.queueing.estimation.ThroughputEstimator.stats_dict`);
         #: ``None`` before any run and after oracle runs.
         self.last_estimator_stats: dict[str, object] | None = None
+        #: Fault-layer summary of the last run (see
+        #: :meth:`repro.queueing.faults.FaultRuntime.stats_dict`);
+        #: ``None`` before any run and after runs without ``faults=``.
+        self.last_fault_stats: dict[str, object] | None = None
 
     @property
     def n_machines(self) -> int:
@@ -529,6 +592,8 @@ class Cluster:
         pick_log: list | None = None,
         rate_source: str = "oracle",
         estimation: EstimationConfig | None = None,
+        faults: FaultConfig | None = None,
+        stall_events: int = DEFAULT_STALL_EVENTS,
     ) -> ClusterMetrics:
         """Run the cluster to completion and return per-machine metrics.
 
@@ -585,6 +650,16 @@ class Cluster:
             estimation: estimator knobs for ``rate_source="estimated"``
                 (:class:`~repro.queueing.estimation.EstimationConfig`;
                 ``None`` → defaults).
+            faults: failure/repair model
+                (:class:`~repro.queueing.faults.FaultConfig`).  ``None``
+                runs the historical fault-free loop; a config with no
+                process enabled (``FaultConfig()``) takes the
+                fault-aware path but is bit-identical to ``None`` —
+                pinned by the golden and fuzz harnesses.  Fault stats
+                land in :attr:`last_fault_stats`.
+            stall_events: livelock guard — raise
+                :class:`~repro.errors.EngineStallError` after this many
+                consecutive events with no clock progress.
         """
         handle = self.start(
             arrivals,
@@ -600,6 +675,8 @@ class Cluster:
             pick_log=pick_log,
             rate_source=rate_source,
             estimation=estimation,
+            faults=faults,
+            stall_events=stall_events,
         )
         try:
             handle.advance()
@@ -623,6 +700,8 @@ class Cluster:
         pick_log: list | None = None,
         rate_source: str = "oracle",
         estimation: EstimationConfig | None = None,
+        faults: FaultConfig | None = None,
+        stall_events: int = DEFAULT_STALL_EVENTS,
     ) -> "ClusterRunHandle":
         """Begin a pausable run; same knobs as :meth:`run`.
 
@@ -647,6 +726,8 @@ class Cluster:
             pick_log=pick_log,
             rate_source=rate_source,
             estimation=estimation,
+            faults=faults,
+            stall_events=stall_events,
         )
 
     def _event_loop(
@@ -663,6 +744,8 @@ class Cluster:
         pick_log: list | None = None,
         pause_at: float | None = None,
         resume: LoopState | None = None,
+        faults: FaultRuntime | None = None,
+        stall_events: int = DEFAULT_STALL_EVENTS,
     ) -> LoopState | None:
         dispatcher = self.dispatcher
         if resume is None:
@@ -751,7 +834,68 @@ class Cluster:
             # without arrivals).
             mark_dirty(machine)
 
+        fault_ops: EngineOps | None = None
+        if faults is not None:
+            # Engine-specific effects of a fault event, run through
+            # this loop's own closures (the compiled loop builds its
+            # twin from *its* closures — the runtime itself is shared).
+            def _fault_sync(mid: int, at: float) -> None:
+                machines[mid].sync(at, warmup=warmup_time)
+
+            def _fault_dirty(mid: int) -> None:
+                mark_dirty(machines[mid])
+
+            def _fault_clear(mid: int) -> None:
+                queue = machines[mid].jobs
+                del queue[:]
+                if queue.by_code is not None:
+                    queue.by_code = {}
+
+            def _fault_speed(mid: int) -> None:
+                # The interpreted reschedule re-reads the memo entry
+                # every time, so there is no cached scaled rate array
+                # to invalidate here.
+                pass
+
+            fault_ops = EngineOps(
+                _fault_sync, _fault_dirty, _fault_clear, _fault_speed
+            )
+
+            def fault_route(job: Job) -> int:
+                """Dispatch among UP (and, as fallback, DEGRADED)
+                machines with room — the fault-aware twin of route()."""
+                eligible = faults.dispatch_eligible()
+                target = dispatcher.route(job, machines, eligible, clock)
+                if (
+                    not 0 <= target < len(machines)
+                    or not has_room(machines[target])
+                    or not faults.routable(target)
+                ):
+                    raise SimulationError(
+                        f"{dispatcher.name} routed to invalid machine "
+                        f"{target}"
+                    )
+                return target
+
+        stalled = 0
         for _ in range(max_events):
+            # Fault-mode retries whose backoff elapsed re-enter ahead
+            # of new arrivals at the same instant, through the same
+            # dispatch layer (skipping DOWN/DRAINING machines).
+            if faults is not None:
+                while True:
+                    retry_job = faults.due_retry(clock)
+                    if retry_job is None or not faults.any_dispatchable():
+                        break
+                    target = fault_route(retry_job)
+                    faults.pop_retry()
+                    machine = machines[target]
+                    machine.sync(clock, warmup=warmup_time)
+                    machine.admit(retry_job)
+                    in_system += 1
+                    if not has_room(machine):
+                        full_machines += 1
+                    mark_dirty(machine)
             # Admit every arrival due now (handles batched time-zero
             # jobs).  The target machine catches up to the clock before
             # its queue changes, so its pending interval is observed
@@ -760,8 +904,25 @@ class Cluster:
                 pending is not None
                 and pending.arrival_time <= clock + _EPSILON
             ):
-                if routed is not None and has_room(machines[routed]):
+                if (
+                    routed is not None
+                    and has_room(machines[routed])
+                    and (faults is None or faults.routable(routed))
+                ):
                     target = routed
+                elif faults is not None:
+                    if faults.any_dispatchable():
+                        target = fault_route(pending)
+                    elif faults.should_shed(pending, clock):
+                        # Admission-control valve: no machine can take
+                        # the job and it has waited out its shed
+                        # deadline — drop it and move on.
+                        faults.record_shed(pending)
+                        routed = None
+                        pending = next(stream, None)
+                        continue
+                    else:
+                        break
                 elif full_machines < len(machines):
                     target = route(pending)
                 else:
@@ -780,9 +941,16 @@ class Cluster:
                 pending = next(stream, None)
 
             if stop_when_fewer_than is not None and pending is None:
-                if in_system < stop_when_fewer_than:
+                in_flight = in_system + (
+                    faults.retry_pending() if faults is not None else 0
+                )
+                if in_flight < stop_when_fewer_than:
                     break
-            if in_system == 0 and pending is None:
+            if (
+                in_system == 0
+                and pending is None
+                and (faults is None or faults.idle())
+            ):
                 break
             if horizon is not None and clock >= horizon:
                 break
@@ -840,13 +1008,25 @@ class Cluster:
             # capacity) must not produce zero-length steps: the next
             # admission can only happen at a completion, so ignore it
             # for time stepping.
-            can_admit = pending is not None and full_machines < len(
-                machines
-            )
+            if faults is None:
+                can_admit = pending is not None and full_machines < len(
+                    machines
+                )
+                fault_dt = _INF
+            else:
+                # Fault mode swaps the full_machines gate for a state-
+                # aware one (DOWN/DRAINING machines are not targets)
+                # and adds the fault layer's own instants: the next
+                # fault event, a retry whose backoff elapsed (only
+                # while someone could accept it), or a blocked
+                # arrival's shed deadline.
+                eligible_exists = faults.any_dispatchable()
+                can_admit = pending is not None and eligible_exists
+                fault_dt = faults.next_wake(clock, eligible_exists, pending)
             next_arrival = (
                 pending.arrival_time - clock if can_admit else _INF
             )
-            dt = min(next_completion, next_arrival)
+            dt = min(next_completion, next_arrival, fault_dt)
             if horizon is not None:
                 dt = min(dt, horizon - clock)
             if dt == _INF:
@@ -872,6 +1052,20 @@ class Cluster:
                     pending=pending,
                 )
 
+            # Livelock guard: many same-instant events in a row means
+            # the loop is spinning, not simulating (the class of bug a
+            # swallowed residual completion causes) — fail loudly with
+            # diagnostics instead of burning the max_events budget.
+            if dt > 0.0:
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled >= stall_events:
+                    raise _stall_error(
+                        clock, stalled, in_system, pending, machines,
+                        faults,
+                    )
+
             if next_machine is not None and next_completion <= dt:
                 # Completion event: only its machine advances eagerly.
                 # A machine already current at the clock steps by the
@@ -888,7 +1082,14 @@ class Cluster:
                 # Arrival event: route now (once per job), advance the
                 # target to the arrival instant; the admission happens
                 # at the top of the next iteration, as in the seed loop.
-                if routed is None or not has_room(machines[routed]):
+                if faults is not None:
+                    if (
+                        routed is None
+                        or not has_room(machines[routed])
+                        or not faults.routable(routed)
+                    ):
+                        routed = fault_route(pending)
+                elif routed is None or not has_room(machines[routed]):
                     routed = route(pending)
                 target_machine = machines[routed]
                 target_machine.sync(
@@ -898,6 +1099,22 @@ class Cluster:
                 )
                 clock = new_clock
                 retire(target_machine, clock)
+            elif faults is not None and fault_dt <= dt:
+                # Fault event: the runtime applies (at most) one due
+                # event — crash, repair, drain, degrade edge, outage
+                # fan-out — through this loop's own ops.  Retry/shed
+                # instants need no event here: the next iteration's
+                # admission phase handles them at the advanced clock.
+                clock = new_clock
+                removed = faults.on_wake(clock, fault_ops)
+                if removed:
+                    in_system -= removed
+                    if keep_in_system is not None:
+                        full_machines = sum(
+                            1
+                            for m in machines
+                            if len(m.jobs) >= keep_in_system
+                        )
             else:
                 # Horizon clamp: one final step for every machine (the
                 # loop exits at the top of the next iteration).
@@ -954,6 +1171,8 @@ class ClusterRunHandle:
         pick_log: list | None = None,
         rate_source: str = "oracle",
         estimation: EstimationConfig | None = None,
+        faults: FaultConfig | None = None,
+        stall_events: int = DEFAULT_STALL_EVENTS,
     ) -> None:
         if engine is None:
             engine = "fast" if fast_path else "legacy"
@@ -966,6 +1185,11 @@ class ClusterRunHandle:
             raise SimulationError(
                 f"unknown rate_source {rate_source!r}; choose oracle "
                 "or estimated"
+            )
+        if faults is not None and not isinstance(faults, FaultConfig):
+            raise SimulationError(
+                "faults must be a FaultConfig (or None), got "
+                f"{type(faults).__name__}"
             )
         self.cluster = cluster
         self.engine = engine
@@ -1109,6 +1333,36 @@ class ClusterRunHandle:
                     rebuild(policy_memo)
 
             self.estimator.add_listener(_reoptimize)
+        #: Fault layer: one runtime per run, shared verbatim by every
+        #: engine (the loops call the same methods at the same points —
+        #: that is what makes faulty runs bit-identical across engines).
+        self.fault_config = faults
+        self.stall_events = stall_events
+        self.fault_rt: FaultRuntime | None = None
+        if faults is not None:
+            self.fault_rt = FaultRuntime(
+                faults, self.machines, keep_in_system=keep_in_system
+            )
+            # Topology churn re-plans through the PR-8 hooks: on any
+            # membership change (machine down or repaired) the offline
+            # policies re-solve over the run's probe source.  With
+            # oracle rates the re-solve is value-neutral (same table,
+            # same solution) but it exercises the same code path the
+            # estimated mode uses, identically in every engine.
+            rebound = self._rebound
+            rebuild = (
+                getattr(cluster.dispatcher, "rebuild", None)
+                if cluster.dispatcher.uses_rates
+                else None
+            )
+
+            def _membership_changed() -> None:
+                for scheduler in rebound:
+                    scheduler.reoptimize(probe_source)
+                if rebuild is not None:
+                    rebuild(probe_source)
+
+            self.fault_rt.membership_hook = _membership_changed
 
     @property
     def jobs_pulled(self) -> int:
@@ -1154,6 +1408,8 @@ class ClusterRunHandle:
                     pause_at=pause_at,
                     resume=self.state,
                     states=self._cstates,
+                    faults=self.fault_rt,
+                    stall_events=self.stall_events,
                 )
             else:
                 state = self.cluster._event_loop(
@@ -1168,6 +1424,8 @@ class ClusterRunHandle:
                     pick_log=self.pick_log,
                     pause_at=pause_at,
                     resume=self.state,
+                    faults=self.fault_rt,
+                    stall_events=self.stall_events,
                 )
         except BaseException:
             self.close()
@@ -1218,6 +1476,20 @@ class ClusterRunHandle:
                 scheduler.reoptimize(self.cluster.rates)
             if self._dispatcher_rebuild is not None:
                 self._dispatcher_rebuild(self.cluster.rates)
+        elif self.fault_rt is not None:
+            # Oracle + faults: the membership hook re-solved policies
+            # mid-run over the run memo; restore the tables built on
+            # the cluster's own rate source (deterministic re-solve,
+            # reproduces them bit for bit).
+            for scheduler in self._rebound:
+                scheduler.reoptimize(self.cluster.rates)
+            rebuild = (
+                getattr(self.cluster.dispatcher, "rebuild", None)
+                if self.cluster.dispatcher.uses_rates
+                else None
+            )
+            if rebuild is not None:
+                rebuild(self.cluster.rates)
         # Recorded even when a segment raises: a diagnostic path
         # catching the error should see this run's counters, not the
         # previous run's.
@@ -1232,6 +1504,11 @@ class ClusterRunHandle:
             if self.estimator is not None
             else None
         )
+        if self.fault_rt is not None:
+            now = max(m.last_sync for m in self.machines)
+            self.cluster.last_fault_stats = self.fault_rt.stats_dict(now)
+        else:
+            self.cluster.last_fault_stats = None
 
 
 def run_cluster(
@@ -1252,6 +1529,8 @@ def run_cluster(
     pick_log: list | None = None,
     rate_source: str = "oracle",
     estimation: EstimationConfig | None = None,
+    faults: FaultConfig | None = None,
+    stall_events: int = DEFAULT_STALL_EVENTS,
 ) -> ClusterMetrics:
     """Build a :class:`Cluster` and run it once (convenience wrapper)."""
     cluster = Cluster(rates, schedulers, dispatcher)
@@ -1269,4 +1548,6 @@ def run_cluster(
         pick_log=pick_log,
         rate_source=rate_source,
         estimation=estimation,
+        faults=faults,
+        stall_events=stall_events,
     )

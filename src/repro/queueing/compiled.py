@@ -62,7 +62,12 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import SimulationError
-from repro.queueing.cluster import LoopState
+from repro.queueing.cluster import LoopState, _stall_error
+from repro.queueing.faults import (
+    DEFAULT_STALL_EVENTS,
+    EngineOps,
+    FaultRuntime,
+)
 from repro.queueing.job import Job
 from repro.queueing.ratememo import CandidateSet, ProbeCandidate, RunRateMemo
 from repro.queueing.schedulers import (
@@ -353,6 +358,8 @@ def run_compiled(
     pause_at: float | None = None,
     resume: LoopState | None = None,
     states: list[_MState] | None = None,
+    faults: FaultRuntime | None = None,
+    stall_events: int = DEFAULT_STALL_EVENTS,
 ) -> LoopState | None:
     """The compiled event loop (semantics of ``Cluster._event_loop``).
 
@@ -763,13 +770,27 @@ def run_compiled(
             # Refill fusion: the departure was replaced by the same
             # type multiset, so the coschedule entry (names, per-job
             # rates, flat rate array) is unchanged — skip the memo.
+            # Degrade edges invalidate ``last_codes_key`` (see the
+            # fault ops below), so a fused reuse never carries a stale
+            # speed scaling.
             stats.fused_entries += 1
             rates_by_code = machine.rates_by_code
         else:
             entry = compiled_entry(codes_key)
             machine.coschedule = entry.names
-            machine.job_rates = entry.per_job
-            rates_by_code = entry.rates_by_code
+            # DEGRADED machines step at a scaled rate; decisions keep
+            # probing the memo's nominal rates (same split as the
+            # interpreted engines).  Fresh copies — memo entries are
+            # shared and must never be mutated.
+            speed = machine.speed
+            if speed == 1.0:
+                machine.job_rates = entry.per_job
+                rates_by_code = entry.rates_by_code
+            else:
+                machine.job_rates = {
+                    k: v * speed for k, v in entry.per_job.items()
+                }
+                rates_by_code = [r * speed for r in entry.rates_by_code]
             machine.rates_by_code = rates_by_code
             ms.last_codes_key = codes_key
         next_completion = _INF
@@ -901,17 +922,94 @@ def run_compiled(
             or len(machines[index].jobs) < keep_in_system
         )
 
+    fault_ops: EngineOps | None = None
+    if faults is not None:
+        # The runtime is engine-agnostic; these ops are the compiled
+        # loop's twin of the interpreted loop's closures.  Same events,
+        # same order, same RNG stream — only the bookkeeping differs.
+        def _fault_sync(mid: int, at: float) -> None:
+            sync(states[mid], at, None)
+
+        def _fault_dirty(mid: int) -> None:
+            machine = machines[mid]
+            if not machine.dirty:
+                machine.dirty = True
+                dirty_list.append(states[mid])
+
+        def _fault_clear(mid: int) -> None:
+            ms = states[mid]
+            queue = ms.machine.jobs
+            del queue[:]
+            if queue.by_code is not None:
+                queue.by_code = {}
+            counts = ms.counts
+            for i in range(len(counts)):
+                counts[i] = 0
+            # An empty queue is trivially age-sorted again; the probe
+            # key and the refill-fusion anchor are both stale.
+            ms.age_ok = True
+            ms.probe_cache = None
+            ms.last_codes_key = None
+
+        def _fault_speed(mid: int) -> None:
+            # Invalidate refill fusion: the machine's cached rate
+            # array carries the old speed scaling.
+            states[mid].last_codes_key = None
+
+        fault_ops = EngineOps(
+            _fault_sync, _fault_dirty, _fault_clear, _fault_speed
+        )
+
+        def fault_route(job: Job) -> int:
+            eligible = faults.dispatch_eligible()
+            target = dispatcher.route(job, machines, eligible, clock)
+            if (
+                not 0 <= target < n_machines
+                or not has_room(target)
+                or not faults.routable(target)
+            ):
+                raise SimulationError(
+                    f"{dispatcher.name} routed to invalid machine "
+                    f"{target}"
+                )
+            return target
+
     # ------------------------------------------------------------------
     # The event loop proper (same event order as the legacy engine).
     # ------------------------------------------------------------------
+    stalled = 0
     for _ in range(max_events):
         stats.events += 1
+        if faults is not None:
+            while True:
+                retry_job = faults.due_retry(clock)
+                if retry_job is None or not faults.any_dispatchable():
+                    break
+                target = fault_route(retry_job)
+                faults.pop_retry()
+                ms = states[target]
+                sync(ms, clock, None)
+                admit(ms, retry_job)
         while (
             pending is not None
             and pending.arrival_time <= clock + _EPSILON
         ):
-            if routed is not None and has_room(routed):
+            if (
+                routed is not None
+                and has_room(routed)
+                and (faults is None or faults.routable(routed))
+            ):
                 target = routed
+            elif faults is not None:
+                if faults.any_dispatchable():
+                    target = fault_route(pending)
+                elif faults.should_shed(pending, clock):
+                    faults.record_shed(pending)
+                    routed = None
+                    pending = next(stream, None)
+                    continue
+                else:
+                    break
             elif full_machines < n_machines:
                 target = route(pending)
             else:
@@ -926,9 +1024,16 @@ def run_compiled(
             pending = next(stream, None)
 
         if stop_when_fewer_than is not None and pending is None:
-            if in_system < stop_when_fewer_than:
+            in_flight = in_system + (
+                faults.retry_pending() if faults is not None else 0
+            )
+            if in_flight < stop_when_fewer_than:
                 break
-        if in_system == 0 and pending is None:
+        if (
+            in_system == 0
+            and pending is None
+            and (faults is None or faults.idle())
+        ):
             break
         if horizon is not None and clock >= horizon:
             break
@@ -978,7 +1083,13 @@ def run_compiled(
             )
             break
 
-        can_admit = pending is not None and full_machines < n_machines
+        if faults is None:
+            can_admit = pending is not None and full_machines < n_machines
+            fault_dt = _INF
+        else:
+            eligible_exists = faults.any_dispatchable()
+            can_admit = pending is not None and eligible_exists
+            fault_dt = faults.next_wake(clock, eligible_exists, pending)
         next_arrival = (
             pending.arrival_time - clock if can_admit else _INF
         )
@@ -987,6 +1098,8 @@ def run_compiled(
             if next_completion < next_arrival
             else next_arrival
         )
+        if fault_dt < dt:
+            dt = fault_dt
         if horizon is not None:
             clamp = horizon - clock
             if clamp < dt:
@@ -1013,6 +1126,16 @@ def run_compiled(
                 age_ok=tuple(ms.age_ok for ms in states),
             )
 
+        # Livelock guard (twin of the interpreted loop's).
+        if dt > 0.0:
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= stall_events:
+                raise _stall_error(
+                    clock, stalled, in_system, pending, machines, faults
+                )
+
         if next_state is not None and next_completion <= dt:
             machine = next_state.machine
             sync(
@@ -1023,7 +1146,14 @@ def run_compiled(
             clock = new_clock
             retire(next_state, clock)
         elif can_admit and next_arrival <= dt:
-            if routed is None or not has_room(routed):
+            if faults is not None:
+                if (
+                    routed is None
+                    or not has_room(routed)
+                    or not faults.routable(routed)
+                ):
+                    routed = fault_route(pending)
+            elif routed is None or not has_room(routed):
                 routed = route(pending)
             target_state = states[routed]
             machine = target_state.machine
@@ -1034,6 +1164,19 @@ def run_compiled(
             )
             clock = new_clock
             retire(target_state, clock)
+        elif faults is not None and fault_dt <= dt:
+            # Fault event: the shared runtime applies (at most) one due
+            # event through this loop's ops; see the interpreted twin.
+            clock = new_clock
+            removed = faults.on_wake(clock, fault_ops)
+            if removed:
+                in_system -= removed
+                if keep_in_system is not None:
+                    full_machines = sum(
+                        1
+                        for m in machines
+                        if len(m.jobs) >= keep_in_system
+                    )
         else:
             for ms in states:
                 sync(

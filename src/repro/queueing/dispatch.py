@@ -157,6 +157,8 @@ class JoinShortestQueueDispatcher(Dispatcher):
         eligible: Sequence[int],
         clock: float,
     ) -> int:
+        if not eligible:
+            raise WorkloadError("route() called with no eligible machine")
         return min(eligible, key=lambda i: (len(machines[i].jobs), i))
 
 
@@ -301,6 +303,8 @@ class SymbiosisAffinityDispatcher(Dispatcher):
         eligible: Sequence[int],
         clock: float,
     ) -> int:
+        if not eligible:
+            raise WorkloadError("route() called with no eligible machine")
         shortest = min(len(machines[i].jobs) for i in eligible)
         shortlist = [
             i

@@ -45,6 +45,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from repro.errors import SimulationError
 from repro.queueing.checkpoint import capture, load, restore, save
 from repro.queueing.cluster import Cluster, ClusterMetrics
+from repro.queueing.faults import DEFAULT_STALL_EVENTS, FaultConfig
 from repro.queueing.job import Job
 
 __all__ = [
@@ -117,6 +118,8 @@ def run_sharded(
     engine: str | None = None,
     backend: str | None = None,
     pick_log: list | None = None,
+    faults: FaultConfig | None = None,
+    stall_events: int = DEFAULT_STALL_EVENTS,
 ) -> ShardedRun:
     """Run a cluster scenario as consecutive time-slice shards.
 
@@ -147,6 +150,15 @@ def run_sharded(
                 "checkpoint was taken under different shard boundaries "
                 "— refusing to resume a different plan"
             )
+        expected_faults = (
+            faults.to_jsonable() if faults is not None else None
+        )
+        if payload["run"].get("faults") != expected_faults:
+            raise SimulationError(
+                "checkpoint was taken under a different fault config "
+                "— refusing to resume (the failure schedule would "
+                "diverge from the original timeline)"
+            )
         handle = restore(
             cluster, stream_factory(), payload, pick_log=pick_log
         )
@@ -164,6 +176,8 @@ def run_sharded(
             engine=engine,
             backend=backend,
             pick_log=pick_log,
+            faults=faults,
+            stall_events=stall_events,
         )
 
     die_after = os.environ.get(_DIE_ENV)

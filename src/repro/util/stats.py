@@ -75,10 +75,18 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     if sxx == 0.0 or syy == 0.0:
         return 0.0
     sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    # sqrt(sxx) * sqrt(syy), not sqrt(sxx * syy): the product of two
+    # tiny-but-nonzero variances can underflow to 0.0 and divide by
+    # zero.  The split form stays finite whenever both factors do; the
+    # residual guard covers subnormal variances whose roots still
+    # multiply to zero.
+    denom = math.sqrt(sxx) * math.sqrt(syy)
+    if denom == 0.0:
+        return 0.0
     # Clamp: catastrophic cancellation on near-degenerate samples
     # (spreads at the float-epsilon scale) can push the ratio a hair
     # past the mathematical bound of |r| <= 1.
-    return max(-1.0, min(1.0, sxy / math.sqrt(sxx * syy)))
+    return max(-1.0, min(1.0, sxy / denom))
 
 
 def slope_through_origin(

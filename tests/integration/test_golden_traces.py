@@ -50,8 +50,9 @@ from repro.core.optimal import optimal_throughput
 from repro.core.workload import Workload
 from repro.experiments.registry import to_jsonable
 from repro.microarch.rates import TableRates
-from repro.queueing.cluster import ClusterMetrics, run_cluster
+from repro.queueing.cluster import Cluster, ClusterMetrics, run_cluster
 from repro.queueing.dispatch import make_dispatcher
+from repro.queueing.faults import FaultConfig
 from repro.queueing.hotpath import saturated_jobs, synthetic_rates
 from repro.queueing.job import Job
 from repro.queueing.scenarios import get_scenario, scenario_names
@@ -481,6 +482,214 @@ class TestEstimatedGoldens:
 
 
 # ----------------------------------------------------------------------
+# Faulty-scenario goldens: chaos runs pinned bit for bit.
+# ----------------------------------------------------------------------
+#: Three (scenario, dispatcher, fault-flavour) cells run with an
+#: *active* :class:`FaultConfig` on the fault stream's own pinned
+#: seed.  Each flavour exercises a different slice of the fault layer
+#: on golden timescales (runs last ~9-31 time units, see
+#: ``golden_mean_rate``):
+#:
+#: * ``crashes``  — hard failures + restart-from-zero + retry/backoff;
+#: * ``degraded`` — slowdown episodes only (no crashes), with
+#:   degradation-aware dispatch steering;
+#: * ``chaos``    — everything at once: crashes, degradation,
+#:   correlated outages with drain grace, resume-fraction progress
+#:   loss, and the shed valve.
+#:
+#: The goldens pin *both* the metrics and ``last_fault_stats``, so any
+#: drift in the fault event stream (draw order, lifecycle transitions,
+#: retry accounting) fails with a per-field diff.  Replayed through
+#: both engines against one expectation file, like every other golden.
+FAULT_FLAVOURS = {
+    "crashes": FaultConfig(
+        seed=101, mtbf=8.0, mttr=1.5,
+        retry_budget=3, backoff_base=0.3, crash_policy="restart",
+    ),
+    "degraded": FaultConfig(
+        seed=211, degraded_mtbf=6.0, degraded_duration=2.0,
+        degraded_factor=0.5, degraded_dispatch="avoid",
+    ),
+    "chaos": FaultConfig(
+        seed=307, mtbf=5.0, mttr=1.0,
+        degraded_mtbf=6.0, degraded_duration=1.5, degraded_factor=0.5,
+        correlated_mtbf=15.0, blast_fraction=0.5, drain_grace=0.3,
+        crash_policy="resume_fraction", resume_fraction=0.5,
+        retry_budget=2, backoff_base=0.2, shed_after=6.0,
+    ),
+}
+FAULTY_CELLS = (
+    ("baseline_poisson", "round_robin", "crashes"),
+    ("skewed_types", "jsq", "degraded"),
+    ("heavy_tail", "affinity", "chaos"),
+)
+
+
+def faulty_golden_path(scenario: str, dispatcher: str) -> Path:
+    return GOLDEN_DIR / f"faulty__{scenario}__{dispatcher}.json"
+
+
+def run_faulty_golden(
+    jobs: list[Job],
+    scenario_name: str,
+    dispatcher: str,
+    faults: FaultConfig | None,
+    engine: str | None = None,
+) -> tuple[ClusterMetrics, dict | None]:
+    """The frozen faulty configuration of a golden cell.
+
+    Returns ``(metrics, last_fault_stats)`` — the stats are part of
+    the pinned expectation, not just the metrics.
+    """
+    scenario = get_scenario(scenario_name)
+    cluster = Cluster(
+        GOLDEN_RATES,
+        [
+            make_scheduler(
+                "maxtp", GOLDEN_RATES, GOLDEN_CONTEXTS,
+                workload=GOLDEN_WORKLOAD,
+            )
+            for _ in range(GOLDEN_MACHINES)
+        ],
+        make_dispatcher(
+            dispatcher,
+            rates=GOLDEN_RATES,
+            workload=GOLDEN_WORKLOAD,
+            contexts=GOLDEN_CONTEXTS,
+        ),
+    )
+    metrics = cluster.run(
+        jobs,
+        stop_when_fewer_than=(
+            GOLDEN_MACHINES * GOLDEN_CONTEXTS
+            if scenario.saturated
+            else None
+        ),
+        keep_in_system=(
+            scenario.backlog_per_machine if scenario.saturated else None
+        ),
+        engine=engine,
+        faults=faults,
+    )
+    return metrics, cluster.last_fault_stats
+
+
+class TestFaultyGoldens:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize(
+        "scenario, dispatcher, flavour",
+        FAULTY_CELLS,
+        ids=[f"{s}-{d}-{f}" for s, d, f in FAULTY_CELLS],
+    )
+    def test_faulty_cell(
+        self, scenario, dispatcher, flavour, engine, update_golden
+    ):
+        faults = FAULT_FLAVOURS[flavour]
+        path = faulty_golden_path(scenario, dispatcher)
+        if update_golden:
+            if engine != ENGINES[0]:
+                mean_rate = golden_mean_rate(scenario)
+                ref_metrics, ref_stats = run_faulty_golden(
+                    build_golden_stream(scenario, mean_rate),
+                    scenario, dispatcher, faults,
+                )
+                metrics, stats = run_faulty_golden(
+                    build_golden_stream(scenario, mean_rate),
+                    scenario, dispatcher, faults,
+                    engine=engine,
+                )
+                assert to_jsonable(metrics) == to_jsonable(ref_metrics)
+                assert stats == ref_stats
+                return
+            mean_rate = golden_mean_rate(scenario)
+            jobs = build_golden_stream(scenario, mean_rate)
+            trace = trace_from_jobs(
+                jobs,
+                metadata={
+                    "scenario": scenario,
+                    "seed": GOLDEN_SEED,
+                    "mean_rate": mean_rate,
+                    "faults": flavour,
+                },
+            )
+            metrics, stats = run_faulty_golden(
+                jobs_from_trace(json.loads(json.dumps(trace))),
+                scenario, dispatcher, faults,
+            )
+            # A quiescent golden would pin nothing — the flavours must
+            # actually fire on golden timescales.
+            assert stats is not None
+            if flavour in ("crashes", "chaos"):
+                assert stats["crashes"] > 0, f"{flavour}: no crashes fired"
+            if flavour in ("degraded", "chaos"):
+                assert stats["degrade_episodes"] > 0, (
+                    f"{flavour}: no degradation episodes fired"
+                )
+            payload = {
+                "scenario": scenario,
+                "dispatcher": dispatcher,
+                "flavour": flavour,
+                "n_machines": GOLDEN_MACHINES,
+                "contexts": GOLDEN_CONTEXTS,
+                "seed": GOLDEN_SEED,
+                "mean_rate": mean_rate,
+                "faults": faults.to_jsonable(),
+                "trace": trace,
+                "expected": to_jsonable(metrics),
+                "fault_stats": stats,
+            }
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden file {path.name}; run "
+                "`python -m pytest tests/integration/test_golden_traces.py "
+                "--update-golden` and commit the result"
+            )
+        golden = json.loads(path.read_text())
+
+        if engine == ENGINES[0]:
+            # Generator lock (same stream contract as the oracle pairs).
+            rebuilt = trace_from_jobs(
+                build_golden_stream(scenario, float(golden["mean_rate"])),
+                metadata=golden["trace"]["metadata"],
+            )
+            drift = diff_payload(golden["trace"], rebuilt)
+            if drift:
+                pytest.fail(
+                    f"[{path.name}] arrival-process drift — the generator "
+                    "no longer reproduces the committed trace:\n"
+                    + "\n".join(drift[:20])
+                    + "\n(run --update-golden only if this drift is "
+                    "intentional)"
+                )
+
+        # Engine lock over the fault layer: metrics AND fault stats.
+        metrics, stats = run_faulty_golden(
+            jobs_from_trace(golden["trace"]),
+            scenario,
+            dispatcher,
+            FaultConfig.from_jsonable(golden["faults"]),
+            engine=engine,
+        )
+        drift = diff_payload(golden["expected"], to_jsonable(metrics))
+        drift += diff_payload(
+            golden["fault_stats"], stats, path="fault_stats"
+        )
+        if drift:
+            pytest.fail(
+                f"[{path.name}] fault-layer drift — the {engine} engine "
+                "no longer reproduces the committed chaos run:\n"
+                + "\n".join(drift[:20])
+                + "\n(run --update-golden only if this drift is "
+                "intentional)"
+            )
+
+
+# ----------------------------------------------------------------------
 # Hotpath saturated-workload goldens (perf-trajectory coverage).
 # ----------------------------------------------------------------------
 #: Reduced-size frozen replica of ``hotpath.saturated_cluster``: same
@@ -507,7 +716,10 @@ def build_hotpath_stream() -> list[Job]:
 
 
 def run_hotpath_golden(
-    jobs: list[Job], scheduler: str, engine: str | None = None
+    jobs: list[Job],
+    scheduler: str,
+    engine: str | None = None,
+    faults: FaultConfig | None = None,
 ) -> ClusterMetrics:
     rates, names = synthetic_rates(contexts=HOTPATH_GOLDEN_CONTEXTS)
     workload = Workload.of(*names)
@@ -527,6 +739,7 @@ def run_hotpath_golden(
         ),
         keep_in_system=HOTPATH_GOLDEN_BACKLOG,
         engine=engine,
+        faults=faults,
     )
 
 
@@ -603,6 +816,52 @@ class TestHotpathGoldens:
                 + "\n(run --update-golden only if this drift is "
                 "intentional)"
             )
+
+
+class TestZeroFaultIdentity:
+    """A declared-but-quiescent ``FaultConfig`` must be a perfect
+    no-op: running any committed golden trace with
+    ``FaultConfig(seed=...)`` (all fault processes disabled) must
+    reproduce the plain ``faults=None`` run *bit for bit* — not within
+    tolerance.  This is the contract that lets the fault layer ship
+    inside the engines without invalidating a single golden."""
+
+    @pytest.mark.parametrize(
+        "scenario, dispatcher", PAIRS, ids=[f"{s}-{d}" for s, d in PAIRS]
+    )
+    def test_pair_zero_fault_identity(self, scenario, dispatcher):
+        path = golden_path(scenario, dispatcher)
+        if not path.exists():
+            pytest.skip("golden files not generated yet")
+        golden = json.loads(path.read_text())
+        plain = run_golden_trace(
+            jobs_from_trace(golden["trace"]), scenario, dispatcher
+        )
+        gated, stats = run_faulty_golden(
+            jobs_from_trace(golden["trace"]),
+            scenario,
+            dispatcher,
+            FaultConfig(seed=12345),
+        )
+        assert to_jsonable(gated) == to_jsonable(plain)
+        assert stats is not None
+        assert stats["crashes"] == 0
+        assert stats["availability"] == 1.0
+
+    @pytest.mark.parametrize("scheduler", HOTPATH_GOLDEN_SCHEDULERS)
+    def test_hotpath_zero_fault_identity(self, scheduler):
+        path = hotpath_golden_path(scheduler)
+        if not path.exists():
+            pytest.skip("golden files not generated yet")
+        golden = json.loads(path.read_text())
+        plain = run_hotpath_golden(
+            jobs_from_trace(golden["trace"]), scheduler
+        )
+        gated = run_hotpath_golden(
+            jobs_from_trace(golden["trace"]), scheduler,
+            faults=FaultConfig(seed=12345),
+        )
+        assert to_jsonable(gated) == to_jsonable(plain)
 
 
 class TestHarnessSensitivity:

@@ -12,10 +12,10 @@ from repro.experiments.runner import main
 class TestRegistry:
     def test_all_experiments_registered(self):
         names = registry.names()
-        assert len(names) == 18
+        assert len(names) == 19
         for expected in ("table1", "figure1", "figure5", "section7",
                          "fairness", "cluster_exp", "scenario_sweep",
-                         "policy_tournament", "summary"):
+                         "policy_tournament", "fault_sweep", "summary"):
             assert expected in names
 
     def test_get_returns_metadata(self):

@@ -37,6 +37,7 @@ from repro.experiments.registry import to_jsonable
 from repro.queueing.cluster import Cluster
 from repro.queueing.dispatch import make_dispatcher
 from repro.queueing.estimation import EstimationConfig
+from repro.queueing.faults import FaultConfig
 from repro.queueing.hotpath import synthetic_rates
 from repro.queueing.scenarios import get_scenario
 from repro.queueing.schedulers import make_scheduler
@@ -62,6 +63,37 @@ SCENARIOS = (
     "saturated_backlog",
 )
 
+#: Fault-axis presets (None = the historical fault-free loop).  Each
+#: named preset exercises a different slice of the fault layer; the
+#: absolute time constants sit well inside the fuzzed runs' durations
+#: so failures actually fire on most draws.
+FAULT_PRESETS: dict[str, dict] = {
+    "crashy": dict(
+        mtbf=5.0, mttr=1.5, retry_budget=2, backoff_base=0.3,
+        crash_policy="restart",
+    ),
+    "flaky": dict(
+        degraded_mtbf=4.0, degraded_duration=1.0, degraded_factor=0.5,
+        degraded_dispatch="allow",
+    ),
+    "chaos": dict(
+        mtbf=6.0, mttr=1.0, degraded_mtbf=8.0, degraded_duration=1.5,
+        correlated_mtbf=20.0, blast_fraction=0.5, drain_grace=0.3,
+        crash_policy="resume_fraction", resume_fraction=0.5,
+        retry_budget=1, backoff_base=0.2, shed_after=4.0,
+    ),
+}
+
+
+def fault_config_from(config) -> FaultConfig | None:
+    """The draw's fault config (seeded off the arrival seed so the
+    failure schedule varies across draws but not across engines)."""
+    preset = config.get("faults")
+    if preset is None:
+        return None
+    return FaultConfig(seed=config["seed"] + 1, **FAULT_PRESETS[preset])
+
+
 configs = st.fixed_dictionaries(
     {
         "scenario": st.sampled_from(SCENARIOS),
@@ -80,6 +112,12 @@ configs = st.fixed_dictionaries(
         # bit-identical across every engine — the estimation layer's
         # two-memo plumbing is part of the equivalence contract.
         "rate_source": st.sampled_from(("oracle", "estimated")),
+        # Fault axis: failure/repair processes must not break the
+        # three-way equivalence — every engine calls the shared
+        # FaultRuntime at the same iteration points, so crashes,
+        # outages, degraded episodes, retries, and shedding land on
+        # the same bits everywhere.
+        "faults": st.sampled_from((None, "crashy", "flaky", "chaos")),
         "knobs": st.sampled_from(
             (
                 {},
@@ -94,13 +132,17 @@ configs = st.fixed_dictionaries(
 )
 
 
-def run_config(config, engine, backend, rate_source=None):
-    """One full cluster run; returns (metrics payload, pick log).
+def run_config(config, engine, backend, rate_source=None, faults="axis"):
+    """One full cluster run; returns (metrics payload, pick log,
+    fault stats).
 
     ``rate_source`` overrides the config's axis (defaulting to
     "oracle" for configs without one).  Estimated runs use zero noise,
     the warm oracle prior, and a small re-optimization interval, so
     many re-optimization rounds fire even on short streams.
+    ``faults`` overrides the config's fault axis: pass a FaultConfig,
+    ``None`` to force the fault-free loop, or leave the default to
+    follow the draw's own axis.
     """
     contexts = config["contexts"]
     rates, names = synthetic_rates(
@@ -137,6 +179,8 @@ def run_config(config, engine, backend, rate_source=None):
         if rate_source == "estimated"
         else None
     )
+    if faults == "axis":
+        faults = fault_config_from(config)
     picks: list[tuple[int, tuple[int, ...]]] = []
     metrics = cluster.run(
         jobs,
@@ -145,9 +189,10 @@ def run_config(config, engine, backend, rate_source=None):
         pick_log=picks,
         rate_source=rate_source,
         estimation=estimation,
+        faults=faults,
         **config["knobs"],
     )
-    return to_jsonable(metrics), picks
+    return to_jsonable(metrics), picks, cluster.last_fault_stats
 
 
 class TestLargeClockStall:
@@ -212,11 +257,11 @@ class TestDifferentialEngines:
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
     def test_engines_bit_identical(self, config):
         reference_label, engine, backend = ENGINE_VARIANTS[0]
-        reference_metrics, reference_picks = run_config(
+        reference_metrics, reference_picks, reference_stats = run_config(
             config, engine, backend
         )
         for label, engine, backend in ENGINE_VARIANTS[1:]:
-            metrics, picks = run_config(config, engine, backend)
+            metrics, picks, stats = run_config(config, engine, backend)
             assert metrics == reference_metrics, (
                 f"{label} metrics diverge from {reference_label} "
                 f"on {config}"
@@ -225,6 +270,44 @@ class TestDifferentialEngines:
                 f"{label} pick sequence diverges from {reference_label} "
                 f"on {config}"
             )
+            assert stats == reference_stats, (
+                f"{label} fault stats diverge from {reference_label} "
+                f"on {config}"
+            )
+
+
+class TestZeroFaultIdentityFuzz:
+    """A quiescent FaultConfig must not move a bit on any draw.
+
+    The fault-aware loop branches everywhere — eligibility lists,
+    wake computation, retry admission — so this class pins the
+    structural claim that all of it is inert when no fault process is
+    enabled: same metrics, same picks, on random configurations.
+    """
+
+    @given(configs)
+    @settings(max_examples=max(25, MAX_EXAMPLES // 4), deadline=None)
+    def test_inactive_config_matches_fault_free(self, config):
+        inert = FaultConfig(seed=config["seed"] + 1)
+        for label, engine, backend in (
+            ENGINE_VARIANTS[1],   # fast
+            ENGINE_VARIANTS[2],   # compiled-tuples
+        ):
+            bare_metrics, bare_picks, _ = run_config(
+                config, engine, backend, faults=None
+            )
+            gated_metrics, gated_picks, stats = run_config(
+                config, engine, backend, faults=inert
+            )
+            assert gated_metrics == bare_metrics, (
+                f"{label}: an inactive FaultConfig changed the metrics "
+                f"on {config}"
+            )
+            assert gated_picks == bare_picks, (
+                f"{label}: an inactive FaultConfig changed the picks "
+                f"on {config}"
+            )
+            assert stats["crashes"] == 0 and stats["availability"] == 1.0
 
 
 class TestEstimatedOracleIdentity:

@@ -448,6 +448,227 @@ def test_tournament_empty_fails_with_clear_message(tmp_path):
     assert "no cells" in str(excinfo.value)
 
 
+# ----------------------------------------------------------------------
+# The --faults gate (fault-layer structural invariants).
+# ----------------------------------------------------------------------
+
+
+def fault_row(mode, *, scenario="baseline_poisson", dispatcher="jsq",
+              throughput=2.0, availability=1.0, completed=250,
+              turnaround=12.5, lost_work=0.0, crashes=0, retried=0,
+              abandoned=0, shed=0):
+    if mode.startswith("mtbf="):
+        fraction = float(mode[len("mtbf="):])
+        mtbf, mttr = fraction * 100.0, 5.0
+    else:
+        mtbf = mttr = 0.0
+    return {
+        "scenario": scenario,
+        "dispatcher": dispatcher,
+        "mode": mode,
+        "mtbf": mtbf,
+        "mttr": mttr,
+        "n_machines": 3,
+        "n_jobs": 250,
+        "throughput": throughput,
+        "goodput": throughput - lost_work / 100.0,
+        "mean_turnaround": turnaround,
+        "availability": availability,
+        "degraded_fraction": 0.0,
+        "lost_work": lost_work,
+        "crashes": crashes,
+        "retried": retried,
+        "abandoned": abandoned,
+        "shed": shed,
+        "completed": completed,
+        "engine": "compiled",
+    }
+
+
+def healthy_fault_rows():
+    rows = []
+    for dispatcher in ("round_robin", "jsq"):
+        rows.append(fault_row("none", dispatcher=dispatcher))
+        rows.append(fault_row("zero", dispatcher=dispatcher))
+        for fraction, avail in ((0.08, 0.70), (0.25, 0.85), (0.75, 0.95)):
+            rows.append(fault_row(
+                f"mtbf={fraction:g}", dispatcher=dispatcher,
+                throughput=1.8, availability=avail, completed=240,
+                lost_work=8.0, crashes=4, retried=6, abandoned=1,
+            ))
+    return rows
+
+
+def write_faults(path: Path, rows: list[dict], *, wrap=False):
+    payload = {"name": "fault_sweep", "rows": rows} if wrap else rows
+    path.write_text(json.dumps(payload))
+
+
+def test_faults_healthy_passes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    write_faults(faults, healthy_fault_rows())
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 0
+    assert "fault smoke ok" in capsys.readouterr().out
+
+
+def test_faults_accepts_results_dir_wrapper(tmp_path):
+    """The runner's --results-dir file nests the rows under "rows"."""
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    write_faults(faults, healthy_fault_rows(), wrap=True)
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 0
+
+
+def test_faults_zero_identity_drift_fails(tmp_path, capsys):
+    """A "zero" row deviating from its "none" twin on any outcome
+    column is an engine bug — the identity is structural."""
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    rows = healthy_fault_rows()
+    for row in rows:
+        if row["mode"] == "zero" and row["dispatcher"] == "jsq":
+            row["throughput"] = 1.999999
+    write_faults(faults, rows)
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 1
+    err = capsys.readouterr().err
+    assert "bit-identical" in err
+    assert "throughput" in err
+
+
+def test_faults_zero_identity_counter_drift_fails(tmp_path, capsys):
+    """Even a single spurious retry under a default FaultConfig breaks
+    the identity — the counters are part of the contract."""
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    rows = healthy_fault_rows()
+    for row in rows:
+        if row["mode"] == "zero" and row["dispatcher"] == "round_robin":
+            row["retried"] = 1
+    write_faults(faults, rows)
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 1
+    assert "retried" in capsys.readouterr().err
+
+
+def test_faults_nan_turnaround_matches_itself(tmp_path):
+    """Saturated cells report turnaround as NaN on both sides of the
+    identity; NaN != NaN must not produce a spurious failure."""
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    rows = healthy_fault_rows()
+    for row in rows:
+        if row["mode"] in ("none", "zero"):
+            row["mean_turnaround"] = float("nan")
+    write_faults(faults, rows)
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 0
+
+
+def test_faults_missing_control_row_fails(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    rows = [r for r in healthy_fault_rows()
+            if not (r["mode"] == "none" and r["dispatcher"] == "jsq")]
+    write_faults(faults, rows)
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 1
+    assert "missing its 'none' and/or 'zero' control row" in (
+        capsys.readouterr().err
+    )
+
+
+def test_faults_non_monotone_availability_fails(tmp_path, capsys):
+    """Mean availability dropping as MTBF grows (beyond the slack)
+    means the failure/repair processes are miscalibrated."""
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    rows = healthy_fault_rows()
+    for row in rows:
+        if row["mode"] == "mtbf=0.75":
+            row["availability"] = 0.60
+    write_faults(faults, rows)
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 1
+    assert "not monotone" in capsys.readouterr().err
+
+
+def test_faults_slack_is_configurable(tmp_path):
+    """A small availability dip inside the slack is stochastic wiggle,
+    not a regression."""
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    rows = healthy_fault_rows()
+    for row in rows:
+        if row["mode"] == "mtbf=0.75":
+            row["availability"] = 0.80  # 0.05 below the 0.25 point
+    write_faults(faults, rows)
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 1
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults), "--faults-slack", "0.1"]
+    ) == 0
+
+
+def test_faults_single_grid_point_fails(tmp_path, capsys):
+    """Monotonicity over one point is vacuous — the gate says so
+    instead of silently passing."""
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    rows = [r for r in healthy_fault_rows()
+            if r["mode"] in ("none", "zero", "mtbf=0.25")]
+    write_faults(faults, rows)
+    assert compare_bench.main(
+        [str(baseline), "--faults", str(faults)]
+    ) == 1
+    assert "at least two MTBF grid points" in capsys.readouterr().err
+
+
+def test_faults_empty_fails_with_clear_message(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_baseline(baseline, [BASELINE_POINT])
+    faults.write_text(json.dumps([]))
+    with pytest.raises(SystemExit) as excinfo:
+        compare_bench.main([str(baseline), "--faults", str(faults)])
+    assert "no rows" in str(excinfo.value)
+
+
+def test_faults_composes_with_perf_gate(tmp_path):
+    results = tmp_path / "results.json"
+    baseline = tmp_path / "baseline.json"
+    faults = tmp_path / "faults.json"
+    write_results(
+        results,
+        {"saturated_demo": {"legacy": 1.0, "fast": 0.25, "compiled": 0.1}},
+    )
+    write_baseline(baseline, [BASELINE_POINT])
+    write_faults(faults, healthy_fault_rows())
+    assert compare_bench.main(
+        [str(results), str(baseline), "--faults", str(faults)]
+    ) == 0
+
+
 def test_tournament_composes_with_perf_gate(tmp_path):
     results = tmp_path / "results.json"
     baseline = tmp_path / "baseline.json"

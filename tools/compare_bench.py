@@ -69,6 +69,25 @@ sanity invariants:
   twin on a finite stream); a systematic inversion — estimates
   reliably *beating* the truth — means the oracle plumbing is broken.
 
+With ``--faults`` the gate additionally (or instead) checks a
+``fault_sweep`` experiment result file (the ``--results-dir`` payload
+or its raw rows) for the fault layer's two structural invariants:
+
+* **zero-fault identity** — every ``zero`` mode row (a default
+  ``FaultConfig`` routed through the fault-aware code path) must be
+  exactly equal to its ``none`` mode twin (``faults=None``, the
+  historical engine) on every outcome column: throughput, turnaround,
+  completions, and all fault counters at their quiescent values.  The
+  identity is structural — the fault runtime draws nothing and gates
+  nothing when no fault process is configured — so any deviation is
+  an engine bug, not noise.
+* **availability monotone in MTBF** — the *mean* availability across
+  cells at each swept MTBF fraction must be non-decreasing in MTBF
+  within ``--faults-slack``: machines that fail less often are up
+  more (``availability ~ mtbf / (mtbf + mttr)`` with MTTR fixed).
+  The mean across cells (not per-cell ordering) keeps the check
+  robust to a single lucky/unlucky failure draw.
+
 Usage::
 
     python tools/compare_bench.py results/bench_hotpath.json \
@@ -77,12 +96,15 @@ Usage::
         --scale results/bench_scale.json
     python tools/compare_bench.py BENCH_CORE.json \
         --tournament results/policy_tournament.json
+    python tools/compare_bench.py BENCH_CORE.json \
+        --faults results/fault_sweep.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -303,6 +325,143 @@ def check_tournament(
     return failures
 
 
+#: Outcome columns a ``zero`` row must match on its ``none`` twin
+#: exactly.  Everything except the mode label and the (inactive)
+#: mtbf/mttr knobs — the zero-fault identity is bit-level.
+_FAULT_IDENTITY_FIELDS = (
+    "throughput",
+    "goodput",
+    "mean_turnaround",
+    "availability",
+    "degraded_fraction",
+    "lost_work",
+    "crashes",
+    "retried",
+    "abandoned",
+    "shed",
+    "completed",
+)
+
+
+def _fault_values_equal(a: object, b: object) -> bool:
+    """Exact equality, treating NaN == NaN (saturated cells report
+    turnaround as NaN on both sides of the identity)."""
+    if (
+        isinstance(a, float)
+        and isinstance(b, float)
+        and math.isnan(a)
+        and math.isnan(b)
+    ):
+        return True
+    return a == b
+
+
+def check_faults(
+    faults_path: Path, *, slack: float = 0.02
+) -> list[str]:
+    """Fault-sweep gate; returns failure descriptions (empty = pass).
+
+    Accepts either the ``--results-dir`` wrapper written by
+    ``python -m repro.experiments fault_sweep`` or the raw payload
+    (its ``rows`` — a list of ``FaultOutcome`` dicts).
+    """
+    try:
+        data = json.loads(faults_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(
+            f"cannot read fault results {faults_path}: {exc}"
+        )
+    rows = data.get("rows", data) if isinstance(data, dict) else data
+    if not isinstance(rows, list) or not rows:
+        raise SystemExit(f"fault results {faults_path} contain no rows")
+
+    failures: list[str] = []
+
+    # Zero-fault identity: every cell's "zero" row == its "none" twin.
+    by_cell: dict[tuple[str, str], dict[str, dict]] = {}
+    for row in rows:
+        cell = by_cell.setdefault(
+            (row["scenario"], row["dispatcher"]), {}
+        )
+        cell[row["mode"]] = row
+    checked = 0
+    bad_cells: list[str] = []
+    for (scenario, dispatcher), modes in sorted(by_cell.items()):
+        none_row = modes.get("none")
+        zero_row = modes.get("zero")
+        if none_row is None or zero_row is None:
+            failures.append(
+                f"faults[identity]: cell {scenario}/{dispatcher} is "
+                "missing its 'none' and/or 'zero' control row"
+            )
+            continue
+        checked += 1
+        mismatched = [
+            field
+            for field in _FAULT_IDENTITY_FIELDS
+            if not _fault_values_equal(none_row[field], zero_row[field])
+        ]
+        if mismatched:
+            bad_cells.append(f"{scenario}/{dispatcher}")
+            for field in mismatched[:3]:
+                failures.append(
+                    f"faults[identity]: {scenario}/{dispatcher} "
+                    f"{field} diverges — none={none_row[field]!r} vs "
+                    f"zero={zero_row[field]!r}; a default FaultConfig "
+                    "must be bit-identical to the fault-free engine"
+                )
+    verdict = "ok" if not (bad_cells or not checked) else "REGRESSED"
+    print(
+        f"{'faults[zero identity]':26s} {checked} cells, "
+        f"{len(bad_cells)} deviate from the fault-free engine   "
+        f"{verdict}"
+    )
+    if checked == 0:
+        failures.append(
+            "faults[identity]: no cells had both control rows — "
+            "nothing to gate"
+        )
+
+    # Availability law: mean availability across cells must be
+    # monotone non-decreasing in the MTBF fraction (MTTR is fixed).
+    by_fraction: dict[float, list[float]] = {}
+    for row in rows:
+        mode = row["mode"]
+        if isinstance(mode, str) and mode.startswith("mtbf="):
+            by_fraction.setdefault(
+                float(mode[len("mtbf="):]), []
+            ).append(row["availability"])
+    if len(by_fraction) < 2:
+        failures.append(
+            "faults[monotone]: need at least two MTBF grid points to "
+            f"check monotonicity, found {len(by_fraction)}"
+        )
+    else:
+        fractions = sorted(by_fraction)
+        means = [
+            sum(by_fraction[f]) / len(by_fraction[f]) for f in fractions
+        ]
+        monotone = all(
+            later >= earlier - slack
+            for earlier, later in zip(means, means[1:])
+        )
+        trend = "  ".join(
+            f"mtbf={f:g}: {m:.3f}" for f, m in zip(fractions, means)
+        )
+        print(
+            f"{'faults[availability]':26s} {trend} "
+            f"(slack {slack:g})   {'ok' if monotone else 'REGRESSED'}"
+        )
+        if not monotone:
+            failures.append(
+                f"faults[monotone]: mean availability is not monotone "
+                f"in MTBF ({trend}) — machines failing less often must "
+                "not be down more; the failure/repair processes are "
+                "miscalibrated"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -340,11 +499,40 @@ def main(argv: list[str] | None = None) -> int:
         help="how far the mean high-noise degradation may dip below "
         "zero before the gate fails (default: %(default)s)",
     )
+    parser.add_argument(
+        "--faults",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="fault_sweep result JSON to sanity-gate (zero-fault "
+        "bit-identity, availability monotone in MTBF)",
+    )
+    parser.add_argument(
+        "--faults-slack",
+        type=float,
+        default=0.02,
+        metavar="FRAC",
+        help="how far mean availability may dip between successive "
+        "MTBF grid points before the monotonicity gate fails "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
-    if args.results is None and args.scale is None and args.tournament is None:
+    extra_gates = (args.scale, args.tournament, args.faults)
+    if args.results is None and all(g is None for g in extra_gates):
         parser.error("nothing to compare: give a results file, --scale, "
-                     "--tournament, or any combination")
+                     "--tournament, --faults, or any combination")
+
+    if args.faults is not None:
+        fault_failures = check_faults(args.faults, slack=args.faults_slack)
+        if fault_failures:
+            for failure in fault_failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            print("fault smoke FAILED", file=sys.stderr)
+            return 1
+        print("fault smoke ok")
+        if args.results is None and args.scale is None and args.tournament is None:
+            return 0
 
     if args.tournament is not None:
         tournament_failures = check_tournament(
